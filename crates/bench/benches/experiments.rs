@@ -1,0 +1,157 @@
+//! Criterion benchmarks: miniature versions of each experiment plus
+//! component microbenchmarks. The full tables/figures come from the
+//! `src/bin/*` harnesses; these benches track the simulator's own speed
+//! and guard the experiment plumbing.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use com_cache::{CacheConfig, SetAssocCache};
+use com_core::MachineConfig;
+use com_fpa::{Fpa, FpaFormat, NameAllocator};
+use com_mem::{AllocKind, ClassId, ObjectSpace, TeamId, Word};
+use com_obj::{install_standard_primitives, lookup_method, ClassTable};
+use com_trace::replay_keys;
+use com_workloads as workloads;
+
+fn bench_fpa(c: &mut Criterion) {
+    c.bench_function("fpa/decode_segment_offset", |b| {
+        let fmt = FpaFormat::COM;
+        let addrs: Vec<Fpa> = (0..1024u64)
+            .map(|i| Fpa::from_raw((i * 2654435761) & fmt.max_raw(), fmt).unwrap())
+            .collect();
+        b.iter(|| {
+            let mut acc = 0u64;
+            for a in &addrs {
+                acc = acc.wrapping_add(a.offset()) ^ a.segment().index();
+            }
+            std::hint::black_box(acc)
+        })
+    });
+    c.bench_function("fpa/name_allocation", |b| {
+        b.iter_batched(
+            || NameAllocator::new(FpaFormat::COM),
+            |mut alloc| {
+                for words in 1..256u64 {
+                    std::hint::black_box(alloc.alloc_for_size(words).unwrap());
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_cache(c: &mut Criterion) {
+    c.bench_function("cache/itlb_replay_512x2", |b| {
+        let keys: Vec<(u16, u16)> = (0..4096u32)
+            .map(|i| ((i % 97) as u16, (i % 13) as u16))
+            .collect();
+        b.iter(|| {
+            let cfg = CacheConfig::new(512, 2).unwrap();
+            std::hint::black_box(replay_keys(cfg, keys.iter().copied(), 512).unwrap())
+        })
+    });
+    c.bench_function("cache/lookup_fill", |b| {
+        b.iter_batched(
+            || SetAssocCache::<u64, u64>::new(CacheConfig::new(1024, 4).unwrap()),
+            |mut cache| {
+                for k in 0..2048u64 {
+                    if cache.lookup(&(k % 1400)).is_none() {
+                        cache.fill(k % 1400, k);
+                    }
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    c.bench_function("obj/full_method_lookup", |b| {
+        let mut t = ClassTable::new();
+        install_standard_primitives(&mut t);
+        let mut leaf = ClassTable::OBJECT;
+        for i in 0..6 {
+            leaf = t.define(&format!("C{i}"), Some(leaf), 0).unwrap();
+        }
+        b.iter(|| {
+            // Worst case: selector found only at the root.
+            std::hint::black_box(lookup_method(&t, leaf, com_isa::Opcode::SAME))
+        })
+    });
+}
+
+fn bench_memory(c: &mut Criterion) {
+    c.bench_function("mem/create_write_read_free", |b| {
+        b.iter_batched(
+            || ObjectSpace::new(22, FpaFormat::COM),
+            |mut s| {
+                let team = TeamId(0);
+                for i in 0..64u64 {
+                    let obj = s.create(team, ClassId(9), 8, AllocKind::Object).unwrap();
+                    s.write(team, obj.with_offset(i % 8).unwrap(), Word::Int(i as i64))
+                        .unwrap();
+                    std::hint::black_box(s.read(team, obj.with_offset(i % 8).unwrap()).unwrap());
+                    s.free(team, obj, AllocKind::Object).unwrap();
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_machines(c: &mut Criterion) {
+    // Simulator throughput on the call-dense workload (small size so each
+    // iteration stays in the tens of milliseconds).
+    let small_fib = workloads::Workload {
+        size: 10,
+        expected: 55,
+        ..workloads::CALLS
+    };
+    c.bench_function("com/fib10", |b| {
+        b.iter(|| {
+            let (out, _) =
+                workloads::run_com(&small_fib, MachineConfig::default(), workloads::MAX_STEPS)
+                    .unwrap();
+            assert_eq!(out.result, Word::Int(55));
+        })
+    });
+    c.bench_function("fith/fib10", |b| {
+        b.iter(|| {
+            let (out, _) = workloads::run_fith(&small_fib, workloads::MAX_STEPS).unwrap();
+            assert_eq!(out.result, Word::Int(55));
+        })
+    });
+    c.bench_function("com/fib10_no_itlb", |b| {
+        b.iter(|| {
+            let (out, _) = workloads::run_com(
+                &small_fib,
+                MachineConfig::default().without_itlb(),
+                workloads::MAX_STEPS,
+            )
+            .unwrap();
+            assert_eq!(out.result, Word::Int(55));
+        })
+    });
+}
+
+fn bench_compiler(c: &mut Criterion) {
+    c.bench_function("stc/compile_stdlib_plus_sort", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                com_stc::compile_com(workloads::SORT.source, com_stc::CompileOptions::default())
+                    .unwrap(),
+            )
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_fpa,
+    bench_cache,
+    bench_lookup,
+    bench_memory,
+    bench_machines,
+    bench_compiler
+);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! A1: ITLB ablation — "method lookup overhead may be effectively
+//! eliminated" (§1.1).
+//!
+//! Runs every workload with the paper's ITLB, with a two-level ITLB, and
+//! with no ITLB at all (every abstract instruction pays the full hash
+//! association), comparing dispatch cost.
+
+use com_bench::{pct, print_table};
+use com_core::MachineConfig;
+use com_obj::ItlbConfig;
+use com_workloads as workloads;
+
+fn main() {
+    println!("A1 reproduction — ITLB on / two-level / off");
+    let mut rows = Vec::new();
+    for w in workloads::all() {
+        let (on, m_on) = workloads::run_com(&w, MachineConfig::default(), workloads::MAX_STEPS)
+            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        let two_level_cfg = MachineConfig {
+            itlb: Some(
+                ItlbConfig::paper_default()
+                    .expect("valid")
+                    .with_l2(4096, 4)
+                    .expect("valid"),
+            ),
+            ..MachineConfig::default()
+        };
+        let (two, _) = workloads::run_com(&w, two_level_cfg, workloads::MAX_STEPS)
+            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        let (off, _) = workloads::run_com(
+            &w,
+            MachineConfig::default().without_itlb(),
+            workloads::MAX_STEPS,
+        )
+        .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        let itlb = m_on.itlb_stats().expect("enabled");
+        rows.push(vec![
+            w.name.to_string(),
+            pct(itlb.hit_ratio()),
+            format!("{}", on.stats.full_lookups),
+            format!("{}", two.stats.full_lookups),
+            format!("{}", off.stats.full_lookups),
+            format!("{:.3}", on.stats.cpi().unwrap_or(f64::NAN)),
+            format!("{:.3}", off.stats.cpi().unwrap_or(f64::NAN)),
+            format!(
+                "{:.2}x",
+                off.stats.total_cycles() as f64 / on.stats.total_cycles() as f64
+            ),
+        ]);
+    }
+    print_table(
+        "Dispatch cost with and without the ITLB",
+        &[
+            "workload",
+            "ITLB hit",
+            "lookups (on)",
+            "lookups (2-level)",
+            "lookups (off)",
+            "CPI (on)",
+            "CPI (off)",
+            "slowdown off/on",
+        ],
+        &rows,
+    );
+    println!(
+        "\npaper: with a modest ITLB, 'method lookup overhead may be effectively eliminated' —\n\
+         the on-column lookups collapse to the compulsory misses and CPI approaches the base rate."
+    );
+}

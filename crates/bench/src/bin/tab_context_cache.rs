@@ -1,0 +1,77 @@
+//! T2 + A2: context cache behaviour (§2.3).
+//!
+//! Paper: "most programs rarely exceed a stack depth of 1024 words or 32
+//! contexts. Thus a context cache of this modest size would almost never
+//! miss"; copyback handles deeper nesting by keeping part of the cache free.
+
+use com_bench::print_table;
+use com_core::MachineConfig;
+use com_workloads as workloads;
+
+fn main() {
+    println!("T2 reproduction — context cache block sweep (deep-call workload: calls/fib)");
+    let w = workloads::CALLS; // fib(15): call depth ~15, dense call traffic
+    let mut rows = Vec::new();
+    for blocks in [4usize, 8, 16, 32, 64] {
+        for copyback in [true, false] {
+            let cfg = MachineConfig {
+                copyback,
+                ..MachineConfig::default().with_ctx_blocks(blocks)
+            };
+            let (out, m) = workloads::run_com(&w, cfg, workloads::MAX_STEPS)
+                .unwrap_or_else(|e| panic!("blocks={blocks}: {e}"));
+            let cc = m.ctx_cache_stats().expect("context cache enabled");
+            rows.push(vec![
+                format!("{blocks}"),
+                if copyback { "on" } else { "off" }.to_string(),
+                format!("{}", cc.faults),
+                format!("{}", cc.copybacks),
+                format!("{}", out.stats.ctx_fault_cycles),
+                format!("{:.3}", out.stats.cpi().unwrap_or(f64::NAN)),
+            ]);
+        }
+    }
+    print_table(
+        "Context cache: faults vs block count (calls workload)",
+        &["blocks", "copyback", "faults", "copybacks", "fault cycles", "CPI"],
+        &rows,
+    );
+
+    // A2: context cache on vs off across all workloads.
+    let mut rows = Vec::new();
+    for w in workloads::all() {
+        let (with_cc, m1) =
+            workloads::run_com(&w, MachineConfig::default(), workloads::MAX_STEPS)
+                .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        let (no_cc, _) = workloads::run_com(
+            &w,
+            MachineConfig::default().without_context_cache(),
+            workloads::MAX_STEPS,
+        )
+        .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        let cc = m1.ctx_cache_stats().expect("enabled");
+        let miss_ratio = cc.faults as f64
+            / (cc.reads + cc.writes).max(1) as f64;
+        rows.push(vec![
+            w.name.to_string(),
+            format!("{}", cc.reads + cc.writes),
+            format!("{}", cc.faults),
+            format!("{:.4}%", miss_ratio * 100.0),
+            format!("{:.3}", with_cc.stats.cpi().unwrap_or(f64::NAN)),
+            format!("{:.3}", no_cc.stats.cpi().unwrap_or(f64::NAN)),
+        ]);
+    }
+    print_table(
+        "A2: 32-block context cache vs contexts in plain memory",
+        &[
+            "workload",
+            "ctx accesses",
+            "faults",
+            "fault ratio",
+            "CPI (cache)",
+            "CPI (no cache)",
+        ],
+        &rows,
+    );
+    println!("\npaper: a 32-block context cache 'would almost never miss' -> fault ratios above should be ~0 at 32 blocks");
+}

@@ -1,0 +1,59 @@
+//! T3: stack machine vs three-address machine (§5).
+//!
+//! Paper: "Stack machines while offering small code size require almost
+//! twice as many instructions to implement a given source language program
+//! than a three address machine. Our initial design studies indicated that
+//! executing a stack machine instruction would take about the same amount
+//! of time as executing a three address instruction. From this analysis,
+//! the three address COM should offer a significant performance
+//! improvement over a stack machine."
+
+use com_bench::print_table;
+use com_core::MachineConfig;
+use com_workloads as workloads;
+
+fn main() {
+    println!("T3 reproduction — Fith (stack) vs COM (three-address)");
+    let mut rows = Vec::new();
+    let mut total_ratio = 0.0;
+    let mut n = 0.0;
+    for w in workloads::portable() {
+        let (com, _) = workloads::run_com(&w, MachineConfig::default(), workloads::MAX_STEPS)
+            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        let (fith, _) =
+            workloads::run_fith(&w, workloads::MAX_STEPS).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        assert_eq!(com.result, fith.result, "{} disagreement", w.name);
+        let ratio = fith.stats.instructions as f64 / com.stats.instructions as f64;
+        let cycle_ratio = fith.stats.cycles as f64 / com.stats.total_cycles() as f64;
+        total_ratio += ratio;
+        n += 1.0;
+        rows.push(vec![
+            w.name.to_string(),
+            format!("{}", com.stats.instructions),
+            format!("{}", fith.stats.instructions),
+            format!("{ratio:.2}x"),
+            format!("{:.2}", com.stats.cpi().unwrap_or(f64::NAN)),
+            format!("{:.2}", fith.stats.cpi().unwrap_or(f64::NAN)),
+            format!("{cycle_ratio:.2}x"),
+        ]);
+    }
+    print_table(
+        "Instruction and cycle counts per workload",
+        &[
+            "workload",
+            "COM instrs",
+            "Fith instrs",
+            "instr ratio",
+            "COM CPI",
+            "Fith CPI",
+            "cycle ratio",
+        ],
+        &rows,
+    );
+    let mean = total_ratio / n;
+    println!(
+        "\nmean instruction ratio (stack / three-address): {:.2}x (paper: ~2x) -> {}",
+        mean,
+        if (1.5..=3.0).contains(&mean) { "REPRODUCED" } else { "CHECK" }
+    );
+}

@@ -1,0 +1,152 @@
+//! Cache geometry and replacement policy.
+
+use crate::CacheError;
+
+/// Replacement policy applied within each set.
+///
+/// The paper's simulations (§5) sweep associativity under LRU; FIFO and a
+/// seeded pseudo-random policy are provided for ablations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Replacement {
+    /// Evict the least recently used line.
+    #[default]
+    Lru,
+    /// Evict the oldest-filled line regardless of use.
+    Fifo,
+    /// Evict a pseudo-randomly chosen line (xorshift, deterministic seed).
+    Random,
+}
+
+impl core::fmt::Display for Replacement {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Replacement::Lru => write!(f, "lru"),
+            Replacement::Fifo => write!(f, "fifo"),
+            Replacement::Random => write!(f, "random"),
+        }
+    }
+}
+
+/// Geometry of a set-associative cache: total entry count and ways per set.
+///
+/// `entries / ways` sets are used; a fully associative cache is
+/// `ways == entries`. Direct mapped is `ways == 1`.
+///
+/// ```
+/// use com_cache::CacheConfig;
+/// let cfg = CacheConfig::new(512, 2).unwrap();
+/// assert_eq!(cfg.sets(), 256);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheConfig {
+    entries: usize,
+    ways: usize,
+    replacement: Replacement,
+    seed: u64,
+}
+
+impl CacheConfig {
+    /// Creates a geometry of `entries` total lines, `ways` per set, LRU.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError::BadGeometry`] when `entries` is zero, `ways` is
+    /// zero, or `ways` does not divide `entries`.
+    pub fn new(entries: usize, ways: usize) -> Result<Self, CacheError> {
+        if entries == 0 || ways == 0 || entries % ways != 0 {
+            return Err(CacheError::BadGeometry { entries, ways });
+        }
+        Ok(CacheConfig {
+            entries,
+            ways,
+            replacement: Replacement::Lru,
+            seed: 0x9E37_79B9_7F4A_7C15,
+        })
+    }
+
+    /// Creates a fully associative geometry of `entries` lines.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError::BadGeometry`] when `entries` is zero.
+    pub fn fully_associative(entries: usize) -> Result<Self, CacheError> {
+        Self::new(entries, entries.max(1))
+    }
+
+    /// Replaces the replacement policy.
+    pub fn with_replacement(mut self, replacement: Replacement) -> Self {
+        self.replacement = replacement;
+        self
+    }
+
+    /// Replaces the seed used by [`Replacement::Random`].
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed.max(1);
+        self
+    }
+
+    /// Total number of lines.
+    pub fn entries(self) -> usize {
+        self.entries
+    }
+
+    /// Lines per set (associativity).
+    pub fn ways(self) -> usize {
+        self.ways
+    }
+
+    /// Number of sets (`entries / ways`).
+    pub fn sets(self) -> usize {
+        self.entries / self.ways
+    }
+
+    /// The replacement policy.
+    pub fn replacement(self) -> Replacement {
+        self.replacement
+    }
+
+    /// The random-policy seed.
+    pub fn seed(self) -> u64 {
+        self.seed
+    }
+}
+
+impl core::fmt::Display for CacheConfig {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "{}x{}-way {}",
+            self.entries, self.ways, self.replacement
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_derives_sets() {
+        let c = CacheConfig::new(4096, 4).unwrap();
+        assert_eq!(c.sets(), 1024);
+        assert_eq!(c.ways(), 4);
+        let fa = CacheConfig::fully_associative(32).unwrap();
+        assert_eq!(fa.sets(), 1);
+        assert_eq!(fa.ways(), 32);
+    }
+
+    #[test]
+    fn rejects_bad_geometry() {
+        assert!(CacheConfig::new(0, 1).is_err());
+        assert!(CacheConfig::new(8, 0).is_err());
+        assert!(CacheConfig::new(10, 4).is_err());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let c = CacheConfig::new(512, 2)
+            .unwrap()
+            .with_replacement(Replacement::Fifo);
+        assert_eq!(c.to_string(), "512x2-way fifo");
+    }
+}

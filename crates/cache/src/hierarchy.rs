@@ -1,0 +1,230 @@
+//! A stack of cache levels modelling absolute→physical translation.
+//!
+//! §3.1: "To translate an absolute address to a physical address the
+//! absolute address is offered to each level of the memory hierarchy in
+//! turn. Each storage device is treated as a cache in which frequently
+//! accessed portions of absolute space may be stored." Because the mapping
+//! is performed "by hashing as in a conventional set associative cache, the
+//! size of the page table is only a function of the size of physical memory
+//! and does not place a limit on the size of absolute space."
+
+use crate::{CacheConfig, CacheError, CacheStats, SetAssocCache};
+
+/// Declaration of one level of the hierarchy.
+#[derive(Debug, Clone, Copy)]
+pub struct LevelSpec {
+    /// Human-readable level name (for reports).
+    pub name: &'static str,
+    /// Cache geometry, in *blocks*.
+    pub config: CacheConfig,
+    /// Words per block (absolute addresses are grouped into blocks of this
+    /// size before lookup).
+    pub block_words: u64,
+    /// Access latency in processor cycles when this level hits.
+    pub latency: u64,
+}
+
+/// Result of offering an absolute address to the hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessOutcome {
+    /// Index of the level that hit (0 = closest), or `None` if the backing
+    /// store had to supply the block.
+    pub hit_level: Option<usize>,
+    /// Total cycles charged, including all levels probed on the way down.
+    pub cycles: u64,
+}
+
+/// A multi-level physical memory model: every level is a set-associative
+/// cache of absolute space blocks; the backing store always hits.
+///
+/// ```
+/// use com_cache::{CacheConfig, LevelSpec, MemoryHierarchy};
+/// # fn main() -> Result<(), com_cache::CacheError> {
+/// let mut mem = MemoryHierarchy::new(
+///     vec![LevelSpec {
+///         name: "L1",
+///         config: CacheConfig::new(64, 2)?,
+///         block_words: 8,
+///         latency: 1,
+///     }],
+///     20,
+/// )?;
+/// let first = mem.access(0x100);
+/// assert_eq!(first.hit_level, None);      // cold: backing store
+/// let again = mem.access(0x101);          // same 8-word block
+/// assert_eq!(again.hit_level, Some(0));
+/// assert!(again.cycles < first.cycles);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct MemoryHierarchy {
+    levels: Vec<(LevelSpec, SetAssocCache<u64, ()>)>,
+    backing_latency: u64,
+    accesses: u64,
+    total_cycles: u64,
+}
+
+impl MemoryHierarchy {
+    /// Builds a hierarchy from level specs (closest first) and the latency
+    /// of the backing store that terminates every miss path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError::EmptyHierarchy`] when `levels` is empty and
+    /// `backing_latency` is zero (a degenerate, free memory).
+    pub fn new(levels: Vec<LevelSpec>, backing_latency: u64) -> Result<Self, CacheError> {
+        if levels.is_empty() && backing_latency == 0 {
+            return Err(CacheError::EmptyHierarchy);
+        }
+        Ok(MemoryHierarchy {
+            levels: levels
+                .into_iter()
+                .map(|spec| {
+                    let cache = SetAssocCache::with_indexer(spec.config, |k| *k);
+                    (spec, cache)
+                })
+                .collect(),
+            backing_latency,
+            accesses: 0,
+            total_cycles: 0,
+        })
+    }
+
+    /// Offers an absolute word address to each level in turn; fills every
+    /// missed level on the way back up (inclusive hierarchy).
+    pub fn access(&mut self, absolute: u64) -> AccessOutcome {
+        self.accesses += 1;
+        let mut cycles = 0;
+        let mut hit_level = None;
+        for (i, (spec, cache)) in self.levels.iter_mut().enumerate() {
+            let block = absolute / spec.block_words;
+            cycles += spec.latency;
+            if cache.lookup(&block).is_some() {
+                hit_level = Some(i);
+                break;
+            }
+        }
+        if hit_level.is_none() {
+            cycles += self.backing_latency;
+        }
+        // Fill the levels that missed (those above the hit level).
+        let fill_upto = hit_level.unwrap_or(self.levels.len());
+        for (spec, cache) in self.levels.iter_mut().take(fill_upto) {
+            let block = absolute / spec.block_words;
+            cache.fill(block, ());
+        }
+        self.total_cycles += cycles;
+        AccessOutcome { hit_level, cycles }
+    }
+
+    /// Per-level statistics, closest level first.
+    pub fn level_stats(&self) -> Vec<(&'static str, CacheStats)> {
+        self.levels
+            .iter()
+            .map(|(spec, cache)| (spec.name, cache.stats()))
+            .collect()
+    }
+
+    /// Total accesses offered to the hierarchy.
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Total cycles charged across all accesses.
+    pub fn total_cycles(&self) -> u64 {
+        self.total_cycles
+    }
+
+    /// Average cycles per access; `None` before any access.
+    pub fn average_latency(&self) -> Option<f64> {
+        if self.accesses == 0 {
+            None
+        } else {
+            Some(self.total_cycles as f64 / self.accesses as f64)
+        }
+    }
+
+    /// Clears statistics on every level (contents retained).
+    pub fn reset_stats(&mut self) {
+        for (_, cache) in &mut self.levels {
+            cache.reset_stats();
+        }
+        self.accesses = 0;
+        self.total_cycles = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_level() -> MemoryHierarchy {
+        MemoryHierarchy::new(
+            vec![
+                LevelSpec {
+                    name: "L1",
+                    config: CacheConfig::new(4, 2).unwrap(),
+                    block_words: 4,
+                    latency: 1,
+                },
+                LevelSpec {
+                    name: "L2",
+                    config: CacheConfig::new(64, 4).unwrap(),
+                    block_words: 16,
+                    latency: 4,
+                },
+            ],
+            50,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn cold_miss_costs_full_path() {
+        let mut m = two_level();
+        let out = m.access(0);
+        assert_eq!(out.hit_level, None);
+        assert_eq!(out.cycles, 1 + 4 + 50);
+    }
+
+    #[test]
+    fn locality_hits_l1() {
+        let mut m = two_level();
+        m.access(0);
+        let out = m.access(1);
+        assert_eq!(out.hit_level, Some(0));
+        assert_eq!(out.cycles, 1);
+    }
+
+    #[test]
+    fn l1_eviction_falls_to_l2() {
+        let mut m = two_level();
+        m.access(0);
+        // Touch enough distinct L1 blocks (4-word) within distinct L2 blocks
+        // to evict block 0 from L1 while keeping it in L2.
+        for a in (16..16 + 16 * 16).step_by(16) {
+            m.access(a);
+        }
+        let out = m.access(0);
+        // Block 0 must not still be in L1 after 16 conflicting fills.
+        assert!(out.hit_level == Some(1) || out.hit_level.is_none());
+    }
+
+    #[test]
+    fn average_latency_accumulates() {
+        let mut m = two_level();
+        assert_eq!(m.average_latency(), None);
+        m.access(0);
+        m.access(1);
+        assert!(m.average_latency().unwrap() > 1.0);
+        m.reset_stats();
+        assert_eq!(m.accesses(), 0);
+    }
+
+    #[test]
+    fn rejects_degenerate() {
+        assert!(MemoryHierarchy::new(vec![], 0).is_err());
+        assert!(MemoryHierarchy::new(vec![], 10).is_ok());
+    }
+}

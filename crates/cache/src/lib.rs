@@ -1,0 +1,47 @@
+//! Set-associative cache simulation for the Caltech Object Machine.
+//!
+//! The COM uses caching "throughout … to achieve performance by accelerating
+//! frequently used translations" (§3.1): the **ITLB** (opcode × operand
+//! classes → method), the **ATLB** (virtual segment → absolute descriptor),
+//! an **instruction cache**, a **context cache**, and every level of the
+//! physical memory hierarchy treated as a cache of absolute space.
+//!
+//! This crate provides the generic machinery all of those share:
+//!
+//! * [`SetAssocCache`] — a key/value set-associative cache with configurable
+//!   entry count, associativity, replacement policy, and indexing function;
+//!   it records [`CacheStats`] with a warmup-aware reset (the paper ran "a
+//!   warmup trace … before the measurement trace", §5).
+//! * [`CacheConfig`] / [`Replacement`] — cache geometry and policy.
+//! * [`MemoryHierarchy`] — a stack of cache levels in front of a backing
+//!   store, each level "treated as a cache in which frequently accessed
+//!   portions of absolute space may be stored" (§3.1).
+//!
+//! ```
+//! use com_cache::{CacheConfig, SetAssocCache};
+//!
+//! # fn main() -> Result<(), com_cache::CacheError> {
+//! let mut itlb: SetAssocCache<u32, &'static str> =
+//!     SetAssocCache::new(CacheConfig::new(512, 2)?);
+//! assert!(itlb.lookup(&7).is_none());      // compulsory miss
+//! itlb.fill(7, "int+int -> add");
+//! assert_eq!(itlb.lookup(&7), Some(&"int+int -> add"));
+//! assert_eq!(itlb.stats().hits, 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod cache;
+mod config;
+mod error;
+mod hierarchy;
+mod stats;
+
+pub use cache::SetAssocCache;
+pub use config::{CacheConfig, Replacement};
+pub use error::CacheError;
+pub use hierarchy::{AccessOutcome, LevelSpec, MemoryHierarchy};
+pub use stats::CacheStats;

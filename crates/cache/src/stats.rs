@@ -1,0 +1,112 @@
+//! Hit/miss accounting.
+
+/// Access statistics for one cache.
+///
+/// The paper's methodology runs a *warmup trace* before the *measurement
+/// trace* "to avoid biasing the results by the initial faulting in of data
+/// into the caches" (§5); [`SetAssocCache::reset_stats`] implements the
+/// boundary between the two without disturbing cache contents.
+///
+/// [`SetAssocCache::reset_stats`]: crate::SetAssocCache::reset_stats
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found their key.
+    pub hits: u64,
+    /// Lookups that did not find their key.
+    pub misses: u64,
+    /// Fills that displaced a valid line.
+    pub evictions: u64,
+    /// Total fills.
+    pub fills: u64,
+    /// Explicit invalidations that found a line.
+    pub invalidations: u64,
+}
+
+impl CacheStats {
+    /// Total lookups.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Hit ratio in `[0, 1]`; `None` before any access.
+    pub fn hit_ratio(&self) -> Option<f64> {
+        let n = self.accesses();
+        if n == 0 {
+            None
+        } else {
+            Some(self.hits as f64 / n as f64)
+        }
+    }
+
+    /// Miss ratio in `[0, 1]`; `None` before any access.
+    pub fn miss_ratio(&self) -> Option<f64> {
+        self.hit_ratio().map(|h| 1.0 - h)
+    }
+
+    /// Component-wise difference (`self` minus an earlier `snapshot`).
+    pub fn since(&self, snapshot: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits - snapshot.hits,
+            misses: self.misses - snapshot.misses,
+            evictions: self.evictions - snapshot.evictions,
+            fills: self.fills - snapshot.fills,
+            invalidations: self.invalidations - snapshot.invalidations,
+        }
+    }
+}
+
+impl core::fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self.hit_ratio() {
+            Some(r) => write!(
+                f,
+                "{} accesses, {:.2}% hit ({} evictions)",
+                self.accesses(),
+                r * 100.0,
+                self.evictions
+            ),
+            None => write!(f, "no accesses"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios() {
+        let s = CacheStats {
+            hits: 99,
+            misses: 1,
+            ..CacheStats::default()
+        };
+        assert_eq!(s.accesses(), 100);
+        assert!((s.hit_ratio().unwrap() - 0.99).abs() < 1e-12);
+        assert!((s.miss_ratio().unwrap() - 0.01).abs() < 1e-12);
+        assert_eq!(CacheStats::default().hit_ratio(), None);
+    }
+
+    #[test]
+    fn since_subtracts() {
+        let a = CacheStats {
+            hits: 10,
+            misses: 5,
+            evictions: 1,
+            fills: 5,
+            invalidations: 0,
+        };
+        let b = CacheStats {
+            hits: 25,
+            misses: 9,
+            evictions: 3,
+            fills: 9,
+            invalidations: 2,
+        };
+        let d = b.since(&a);
+        assert_eq!(d.hits, 15);
+        assert_eq!(d.misses, 4);
+        assert_eq!(d.evictions, 2);
+        assert_eq!(d.invalidations, 2);
+    }
+}

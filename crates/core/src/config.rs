@@ -1,0 +1,131 @@
+//! Machine configuration: geometry, cost parameters and ablation switches.
+
+use com_cache::CacheConfig;
+use com_fpa::FpaFormat;
+use com_obj::{ItlbConfig, LookupCost};
+
+/// Configuration of one COM instance.
+///
+/// The defaults reproduce the paper's machine: a 512×2-way ITLB (§5), a
+/// 4096-entry 2-way instruction cache (§5 Figure 11), a 32-block context
+/// cache (§2.3: "a context cache of this modest size would almost never
+/// miss") with copyback enabled, and the §3.6 stall penalties. Every switch
+/// exists for one of the DESIGN.md ablations.
+#[derive(Debug, Clone, Copy)]
+pub struct MachineConfig {
+    /// Virtual address format (COM 36-bit by default).
+    pub format: FpaFormat,
+    /// log2 of the absolute space size in words.
+    pub space_log2: u8,
+    /// ITLB geometry; `None` disables the ITLB entirely (ablation A1:
+    /// every send pays the full association cost).
+    pub itlb: Option<ItlbConfig>,
+    /// Instruction cache geometry; `None` disables it (every fetch pays the
+    /// miss penalty).
+    pub icache: Option<CacheConfig>,
+    /// Number of context cache blocks; `None` disables the context cache
+    /// (ablation A2: contexts live in plain memory).
+    pub ctx_blocks: Option<usize>,
+    /// Enable the §2.3 copyback mechanism ("when only two blocks are free …
+    /// the cache begins copying the LRU context back").
+    pub copyback: bool,
+    /// Free blocks at or below which copyback engages.
+    pub copyback_low_water: usize,
+    /// Treat read-after-write hazards (§3.6: the compiler must separate
+    /// dependent instructions) as errors instead of one-cycle interlocks.
+    pub strict_hazards: bool,
+    /// Cycle cost of a full method lookup (charged on ITLB miss).
+    pub lookup_cost: LookupCost,
+    /// Cycles added by an instruction cache miss.
+    pub icache_miss_penalty: u64,
+    /// Cycles added by an `at:`/`at:put:` (or `new`/`grow`) memory access.
+    pub memory_penalty: u64,
+    /// Cycles to fault a context block in from memory (block fill).
+    pub ctx_fault_penalty: u64,
+    /// Steps between automatic garbage collections; `None` collects only
+    /// when the free list and allocator are exhausted.
+    pub gc_interval: Option<u64>,
+    /// Eagerly free LIFO contexts at return (§2.3). Disabling leaves every
+    /// context to the garbage collector (half of experiment T5).
+    pub eager_lifo_free: bool,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig {
+            format: FpaFormat::COM,
+            space_log2: 26,
+            itlb: Some(ItlbConfig::paper_default().expect("paper geometry is valid")),
+            icache: Some(CacheConfig::new(4096, 2).expect("paper geometry is valid")),
+            ctx_blocks: Some(32),
+            copyback: true,
+            copyback_low_water: 2,
+            strict_hazards: false,
+            lookup_cost: LookupCost::default(),
+            icache_miss_penalty: 8,
+            memory_penalty: 4,
+            ctx_fault_penalty: 32,
+            gc_interval: None,
+            eager_lifo_free: true,
+        }
+    }
+}
+
+impl MachineConfig {
+    /// The paper's configuration (same as `Default`).
+    pub fn paper() -> Self {
+        Self::default()
+    }
+
+    /// Ablation A1: no ITLB — every abstract instruction pays the full
+    /// association cost.
+    pub fn without_itlb(mut self) -> Self {
+        self.itlb = None;
+        self
+    }
+
+    /// Ablation A2: no context cache — context words live in memory.
+    pub fn without_context_cache(mut self) -> Self {
+        self.ctx_blocks = None;
+        self
+    }
+
+    /// Replaces the context cache block count.
+    pub fn with_ctx_blocks(mut self, blocks: usize) -> Self {
+        self.ctx_blocks = Some(blocks);
+        self
+    }
+
+    /// Disables eager LIFO context freeing (T5's GC-burden comparison).
+    pub fn without_eager_lifo_free(mut self) -> Self {
+        self.eager_lifo_free = false;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_geometry() {
+        let c = MachineConfig::default();
+        let itlb = c.itlb.unwrap();
+        assert_eq!(itlb.l1.entries(), 512);
+        assert_eq!(itlb.l1.ways(), 2);
+        let icache = c.icache.unwrap();
+        assert_eq!(icache.entries(), 4096);
+        assert_eq!(c.ctx_blocks, Some(32));
+        assert!(c.copyback);
+        assert!(c.eager_lifo_free);
+    }
+
+    #[test]
+    fn ablation_builders() {
+        let c = MachineConfig::paper().without_itlb().without_context_cache();
+        assert!(c.itlb.is_none());
+        assert!(c.ctx_blocks.is_none());
+        let c = MachineConfig::paper().with_ctx_blocks(8);
+        assert_eq!(c.ctx_blocks, Some(8));
+    }
+}

@@ -1,0 +1,441 @@
+//! The context cache (§2.3, §3.6 Figure 7).
+//!
+//! "The Context Cache consists of two parts: the directory and the data
+//! memory. Our scheme achieves speed by bypassing the directory on accesses
+//! to the current or next context." Four access vectors govern the blocks:
+//! *current* and *next* (singleton sets), *free* (unused blocks), and
+//! *match* (directory hit). The directory associates on **absolute**
+//! addresses, so the cache "need not be invalidated on a process switch",
+//! can hold **non-contiguous** (non-LIFO) contexts, and "provides a
+//! mechanism to automatically initialise a new context" (block clear in a
+//! single operation).
+//!
+//! Each cached word carries its 16-bit class tag (§3.2): "When a word is
+//! cached in the context cache, a 16-bit tag identifying the class of the
+//! object is cached with it."
+
+use com_mem::{AbsAddr, ClassId, Word};
+
+use crate::CONTEXT_WORDS;
+
+/// Counters for the context cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CtxCacheStats {
+    /// Fast-path reads through the current/next vectors.
+    pub reads: u64,
+    /// Fast-path writes through the current/next vectors.
+    pub writes: u64,
+    /// Directory (match vector) accesses.
+    pub directory_lookups: u64,
+    /// Directory hits.
+    pub directory_hits: u64,
+    /// Blocks faulted in from memory (misses on resident-required access).
+    pub faults: u64,
+    /// Blocks copied back to memory by the copyback engine.
+    pub copybacks: u64,
+    /// Blocks cleared for fresh contexts (single-operation clear).
+    pub clears: u64,
+    /// Blocks released to the free vector.
+    pub releases: u64,
+}
+
+/// One cached context block plus its directory entry.
+#[derive(Debug, Clone)]
+struct Block {
+    /// Directory entry: the absolute base address of the cached context,
+    /// or `None` when the block is in the free vector.
+    abs: Option<AbsAddr>,
+    /// 32 words, each with its cached class tag.
+    words: Vec<(Word, ClassId)>,
+    dirty: bool,
+    last_used: u64,
+}
+
+impl Block {
+    fn empty() -> Self {
+        Block {
+            abs: None,
+            words: vec![(Word::Uninit, ClassId::UNINIT); CONTEXT_WORDS as usize],
+            dirty: false,
+            last_used: 0,
+        }
+    }
+}
+
+/// The context cache. The machine orchestrates fills and write-backs (it
+/// owns the memory); the cache owns residency, the access vectors and LRU.
+#[derive(Debug)]
+pub struct ContextCache {
+    blocks: Vec<Block>,
+    current: Option<usize>,
+    next: Option<usize>,
+    clock: u64,
+    stats: CtxCacheStats,
+}
+
+/// A block evicted to make room: the machine must write it back if dirty.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Eviction {
+    /// Absolute base of the evicted context.
+    pub abs: AbsAddr,
+    /// The block's words (with class tags) at eviction time.
+    pub words: Vec<(Word, ClassId)>,
+    /// Whether the block held unwritten modifications.
+    pub dirty: bool,
+}
+
+impl ContextCache {
+    /// Creates a cache of `blocks` context-sized blocks (the paper uses 32).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `blocks < 3` — call linkage needs current + next + one
+    /// free block to make progress.
+    pub fn new(blocks: usize) -> Self {
+        assert!(blocks >= 3, "context cache needs at least 3 blocks");
+        ContextCache {
+            blocks: (0..blocks).map(|_| Block::empty()).collect(),
+            current: None,
+            next: None,
+            clock: 0,
+            stats: CtxCacheStats::default(),
+        }
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CtxCacheStats {
+        self.stats
+    }
+
+    /// Resets counters (contents retained).
+    pub fn reset_stats(&mut self) {
+        self.stats = CtxCacheStats::default();
+    }
+
+    /// Number of blocks in the free vector.
+    pub fn free_count(&self) -> usize {
+        self.blocks.iter().filter(|b| b.abs.is_none()).count()
+    }
+
+    /// Absolute bases of all resident contexts (for GC pinning).
+    pub fn resident(&self) -> Vec<AbsAddr> {
+        self.blocks.iter().filter_map(|b| b.abs).collect()
+    }
+
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    /// Directory lookup (the match vector): the block caching `abs`, if any.
+    pub fn find(&mut self, abs: AbsAddr) -> Option<usize> {
+        self.stats.directory_lookups += 1;
+        let hit = self.blocks.iter().position(|b| b.abs == Some(abs));
+        if hit.is_some() {
+            self.stats.directory_hits += 1;
+        }
+        hit
+    }
+
+    /// Non-recording directory probe.
+    pub fn peek_find(&self, abs: AbsAddr) -> Option<usize> {
+        self.blocks.iter().position(|b| b.abs == Some(abs))
+    }
+
+    /// Picks a victim block: a free one if available, else the LRU block
+    /// that is neither current nor next. Returns `(index, eviction)`.
+    fn victim(&mut self) -> (usize, Option<Eviction>) {
+        if let Some(i) = self.blocks.iter().position(|b| b.abs.is_none()) {
+            return (i, None);
+        }
+        let i = self
+            .blocks
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| Some(*i) != self.current && Some(*i) != self.next)
+            .min_by_key(|(_, b)| b.last_used)
+            .map(|(i, _)| i)
+            .expect("≥3 blocks, so a victim exists");
+        let b = &mut self.blocks[i];
+        let ev = Eviction {
+            abs: b.abs.expect("occupied"),
+            words: b.words.clone(),
+            dirty: b.dirty,
+        };
+        b.abs = None;
+        b.dirty = false;
+        (i, Some(ev))
+    }
+
+    /// Installs a context read from memory into a block (a *fault*).
+    /// Returns the block index and any eviction the machine must handle.
+    pub fn install(
+        &mut self,
+        abs: AbsAddr,
+        words: Vec<(Word, ClassId)>,
+    ) -> (usize, Option<Eviction>) {
+        debug_assert_eq!(words.len(), CONTEXT_WORDS as usize);
+        self.stats.faults += 1;
+        let clock = self.tick();
+        let (i, ev) = self.victim();
+        let b = &mut self.blocks[i];
+        b.abs = Some(abs);
+        b.words = words;
+        b.dirty = false;
+        b.last_used = clock;
+        (i, ev)
+    }
+
+    /// Allocates a *cleared* block for a brand-new context at `abs`
+    /// ("a new context … can be immediately placed in a block of the context
+    /// cache and that block can be cleared. With this approach a new context
+    /// does not have to be faulted in", §2.3). Marks it the next context.
+    pub fn alloc_next(&mut self, abs: AbsAddr) -> (usize, Option<Eviction>) {
+        self.stats.clears += 1;
+        let clock = self.tick();
+        let (i, ev) = self.victim();
+        let b = &mut self.blocks[i];
+        b.abs = Some(abs);
+        for w in &mut b.words {
+            *w = (Word::Uninit, ClassId::UNINIT);
+        }
+        // The cleared block is dirty by construction: memory still holds
+        // stale words until copyback.
+        b.dirty = true;
+        b.last_used = clock;
+        self.next = Some(i);
+        (i, ev)
+    }
+
+    /// The current-vector block index.
+    pub fn current(&self) -> Option<usize> {
+        self.current
+    }
+
+    /// The next-vector block index.
+    pub fn next(&self) -> Option<usize> {
+        self.next
+    }
+
+    /// Points the current vector at `block`.
+    pub fn set_current(&mut self, block: Option<usize>) {
+        self.current = block;
+    }
+
+    /// Points the next vector at `block`.
+    pub fn set_next(&mut self, block: Option<usize>) {
+        self.next = block;
+    }
+
+    /// Reads word `off` of `block` (fast path — no directory access).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range offset; operand fields cannot express one
+    /// beyond 63 and contexts are 32 words, so this is a machine bug.
+    pub fn read(&mut self, block: usize, off: u64) -> (Word, ClassId) {
+        let clock = self.tick();
+        self.stats.reads += 1;
+        let b = &mut self.blocks[block];
+        b.last_used = clock;
+        b.words[off as usize]
+    }
+
+    /// Writes word `off` of `block` with its class tag.
+    pub fn write(&mut self, block: usize, off: u64, word: Word, class: ClassId) {
+        let clock = self.tick();
+        self.stats.writes += 1;
+        let b = &mut self.blocks[block];
+        b.last_used = clock;
+        b.words[off as usize] = (word, class);
+        b.dirty = true;
+    }
+
+    /// The absolute base the block caches.
+    pub fn block_abs(&self, block: usize) -> Option<AbsAddr> {
+        self.blocks[block].abs
+    }
+
+    /// Releases a block to the free vector *without* write-back (used when
+    /// the context it holds is freed — its contents are dead).
+    pub fn release(&mut self, abs: AbsAddr) {
+        if let Some(i) = self.peek_find(abs) {
+            self.stats.releases += 1;
+            self.blocks[i].abs = None;
+            self.blocks[i].dirty = false;
+            if self.current == Some(i) {
+                self.current = None;
+            }
+            if self.next == Some(i) {
+                self.next = None;
+            }
+        }
+    }
+
+    /// Recycles an occupied block as the (cleared) next context: on method
+    /// return "the current vector is moved back to the next vector" and the
+    /// block is re-initialised for the next call.
+    pub fn recycle_as_next(&mut self, block: usize) {
+        self.stats.clears += 1;
+        let clock = self.tick();
+        let b = &mut self.blocks[block];
+        for w in &mut b.words {
+            *w = (Word::Uninit, ClassId::UNINIT);
+        }
+        b.dirty = true;
+        b.last_used = clock;
+        self.next = Some(block);
+        if self.current == Some(block) {
+            self.current = None;
+        }
+    }
+
+    /// Whether the copyback engine should run: free blocks at or below the
+    /// low-water mark (§2.3 uses two).
+    pub fn needs_copyback(&self, low_water: usize) -> bool {
+        self.free_count() <= low_water
+    }
+
+    /// Takes the LRU non-current/non-next block for copyback, returning its
+    /// contents for the machine to write to memory. The block becomes free.
+    pub fn copyback_victim(&mut self) -> Option<Eviction> {
+        let i = self
+            .blocks
+            .iter()
+            .enumerate()
+            .filter(|(i, b)| {
+                b.abs.is_some() && Some(*i) != self.current && Some(*i) != self.next
+            })
+            .min_by_key(|(_, b)| b.last_used)
+            .map(|(i, _)| i)?;
+        self.stats.copybacks += 1;
+        let b = &mut self.blocks[i];
+        let ev = Eviction {
+            abs: b.abs.take().expect("filtered on occupied"),
+            words: b.words.clone(),
+            dirty: b.dirty,
+        };
+        b.dirty = false;
+        Some(ev)
+    }
+
+    /// Drains every dirty block's contents (without freeing) so memory is
+    /// coherent — required before garbage collection scans contexts.
+    pub fn dirty_blocks(&mut self) -> Vec<Eviction> {
+        let mut out = Vec::new();
+        for b in &mut self.blocks {
+            if b.dirty {
+                if let Some(abs) = b.abs {
+                    out.push(Eviction {
+                        abs,
+                        words: b.words.clone(),
+                        dirty: true,
+                    });
+                    b.dirty = false;
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cc() -> ContextCache {
+        ContextCache::new(4)
+    }
+
+    #[test]
+    fn alloc_next_clears_block() {
+        let mut c = cc();
+        let (i, ev) = c.alloc_next(AbsAddr(0x100));
+        assert!(ev.is_none());
+        assert_eq!(c.next(), Some(i));
+        assert_eq!(c.read(i, 5), (Word::Uninit, ClassId::UNINIT));
+        assert_eq!(c.stats().clears, 1);
+    }
+
+    #[test]
+    fn read_after_write_with_class_tag() {
+        let mut c = cc();
+        let (i, _) = c.alloc_next(AbsAddr(0x100));
+        c.write(i, 3, Word::Int(7), ClassId::SMALL_INT);
+        assert_eq!(c.read(i, 3), (Word::Int(7), ClassId::SMALL_INT));
+    }
+
+    #[test]
+    fn directory_match_vector() {
+        let mut c = cc();
+        let (i, _) = c.alloc_next(AbsAddr(0x100));
+        assert_eq!(c.find(AbsAddr(0x100)), Some(i));
+        assert_eq!(c.find(AbsAddr(0x200)), None);
+        let s = c.stats();
+        assert_eq!(s.directory_lookups, 2);
+        assert_eq!(s.directory_hits, 1);
+    }
+
+    #[test]
+    fn eviction_prefers_free_then_lru_excluding_vectors() {
+        let mut c = cc();
+        let (a, _) = c.alloc_next(AbsAddr(0x100));
+        c.set_current(Some(a));
+        let (b, _) = c.alloc_next(AbsAddr(0x200)); // next
+        let (x, _) = c.install(AbsAddr(0x300), vec![(Word::Int(1), ClassId::SMALL_INT); 32]);
+        let (y, _) = c.install(AbsAddr(0x400), vec![(Word::Int(2), ClassId::SMALL_INT); 32]);
+        assert_eq!(c.free_count(), 0);
+        // Touch x so y is LRU among non-vector blocks.
+        c.read(x, 0);
+        let (_, ev) = c.install(AbsAddr(0x500), vec![(Word::Uninit, ClassId::UNINIT); 32]);
+        let ev = ev.expect("cache full, must evict");
+        assert_eq!(ev.abs, AbsAddr(0x400));
+        // current and next must never be evicted
+        assert_eq!(c.block_abs(a), Some(AbsAddr(0x100)));
+        assert_eq!(c.block_abs(b), Some(AbsAddr(0x200)));
+        let _ = y;
+    }
+
+    #[test]
+    fn release_frees_without_writeback() {
+        let mut c = cc();
+        let (i, _) = c.alloc_next(AbsAddr(0x100));
+        c.write(i, 0, Word::Int(1), ClassId::SMALL_INT);
+        c.release(AbsAddr(0x100));
+        assert_eq!(c.free_count(), 4);
+        assert_eq!(c.next(), None, "released block leaves the next vector");
+        assert!(c.dirty_blocks().is_empty(), "released dirt is dead");
+    }
+
+    #[test]
+    fn copyback_picks_lru_and_frees() {
+        let mut c = cc();
+        let (a, _) = c.alloc_next(AbsAddr(0x100));
+        c.set_current(Some(a));
+        c.alloc_next(AbsAddr(0x200));
+        c.install(AbsAddr(0x300), vec![(Word::Int(3), ClassId::SMALL_INT); 32]);
+        c.install(AbsAddr(0x400), vec![(Word::Int(4), ClassId::SMALL_INT); 32]);
+        assert!(c.needs_copyback(2));
+        let ev = c.copyback_victim().unwrap();
+        assert_eq!(ev.abs, AbsAddr(0x300), "LRU non-vector block");
+        assert_eq!(c.free_count(), 1);
+        assert!(!c.needs_copyback(0));
+    }
+
+    #[test]
+    fn dirty_blocks_drain_once() {
+        let mut c = cc();
+        let (i, _) = c.alloc_next(AbsAddr(0x100));
+        c.write(i, 1, Word::Int(5), ClassId::SMALL_INT);
+        let d = c.dirty_blocks();
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].abs, AbsAddr(0x100));
+        assert!(c.dirty_blocks().is_empty(), "second drain is empty");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3 blocks")]
+    fn too_small_cache_panics() {
+        let _ = ContextCache::new(2);
+    }
+}

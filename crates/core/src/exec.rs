@@ -1,0 +1,322 @@
+//! Function units: the data-path side of primitive methods (§3.3).
+//!
+//! These are the operations the ITLB's method field selects when the
+//! primitive bit is on. Control transfer, memory access and allocation need
+//! machine state and live in `machine.rs`; everything here is a pure
+//! function of the source operands.
+
+use com_isa::{Opcode, PrimOp};
+use com_mem::Word;
+
+use crate::MachineError;
+
+/// Executes a pure data operation on source operands `b` and `c`.
+///
+/// Unary operations (`negated`, `bitNot`, `tag`) take their input from `c`
+/// (the compiler duplicates the operand into `b` for ITLB keying).
+///
+/// # Errors
+///
+/// Returns [`MachineError::BadOperands`] when the operand tags have no
+/// interpretation under `prim` (division by zero included). Because
+/// dispatch already checked the class signature, such traps indicate a
+/// disagreement between an installed method signature and the function
+/// unit — they are *machine* integrity checks, not user-visible type
+/// errors (those surface as does-not-understand).
+pub fn data_op(prim: PrimOp, opcode: Opcode, b: Word, c: Word) -> Result<Word, MachineError> {
+    let bad = |reason: &'static str| MachineError::BadOperands { opcode, reason };
+    match prim {
+        PrimOp::Add | PrimOp::Sub | PrimOp::Mul | PrimOp::Div => arith(prim, opcode, b, c),
+        PrimOp::Mod => match (b, c) {
+            (Word::Int(_), Word::Int(0)) => Err(bad("modulo by zero")),
+            (Word::Int(x), Word::Int(y)) => Ok(Word::Int(x.rem_euclid(y))),
+            _ => Err(bad("modulo requires small integers")),
+        },
+        PrimOp::Neg => match c {
+            Word::Int(x) => Ok(Word::Int(x.wrapping_neg())),
+            Word::Float(x) => Ok(Word::Float(-x)),
+            _ => Err(bad("negate requires a number")),
+        },
+        PrimOp::Carry => match (b, c) {
+            (Word::Int(x), Word::Int(y)) => {
+                Ok(Word::Int(i64::from(x.checked_add(y).is_none())))
+            }
+            _ => Err(bad("carry requires small integers")),
+        },
+        PrimOp::Mult1 => match (b, c) {
+            (Word::Int(x), Word::Int(y)) => Ok(Word::Int((x as i128 * y as i128) as i64)),
+            _ => Err(bad("mult1 requires small integers")),
+        },
+        PrimOp::Mult2 => match (b, c) {
+            (Word::Int(x), Word::Int(y)) => {
+                Ok(Word::Int(((x as i128 * y as i128) >> 64) as i64))
+            }
+            _ => Err(bad("mult2 requires small integers")),
+        },
+        PrimOp::Shift => match (b, c) {
+            (Word::Int(x), Word::Int(s)) => Ok(Word::Int(shift_logical(x, s))),
+            _ => Err(bad("shift requires small integers")),
+        },
+        PrimOp::AShift => match (b, c) {
+            (Word::Int(x), Word::Int(s)) => Ok(Word::Int(shift_arith(x, s))),
+            _ => Err(bad("arithmetic shift requires small integers")),
+        },
+        PrimOp::Rotate => match (b, c) {
+            (Word::Int(x), Word::Int(s)) => {
+                // Rotate within the 32-bit field the paper's words carry.
+                let v = x as u32;
+                let s = (s.rem_euclid(32)) as u32;
+                Ok(Word::Int(v.rotate_left(s) as i64))
+            }
+            _ => Err(bad("rotate requires small integers")),
+        },
+        PrimOp::Mask => match (b, c) {
+            (Word::Int(x), Word::Int(bits)) if (0..=63).contains(&bits) => {
+                Ok(Word::Int(x & ((1i64 << bits) - 1)))
+            }
+            _ => Err(bad("mask requires a small integer and a bit count 0..=63")),
+        },
+        PrimOp::And => int_bitop(b, c, |x, y| x & y).ok_or_else(|| bad("bitAnd requires ints")),
+        PrimOp::Or => int_bitop(b, c, |x, y| x | y).ok_or_else(|| bad("bitOr requires ints")),
+        PrimOp::Xor => int_bitop(b, c, |x, y| x ^ y).ok_or_else(|| bad("bitXor requires ints")),
+        PrimOp::Not => match c {
+            Word::Int(x) => Ok(Word::Int(!x)),
+            _ => Err(bad("bitNot requires a small integer")),
+        },
+        PrimOp::Lt | PrimOp::Le | PrimOp::Gt | PrimOp::Ge => compare(prim, opcode, b, c),
+        PrimOp::EqVal => Ok(Word::from(value_eq(b, c))),
+        PrimOp::NeVal => Ok(Word::from(!value_eq(b, c))),
+        // Identity: two words are the same object when their tagged bit
+        // patterns agree ("the ~ (same object) comparison is defined for all
+        // types", §3.3).
+        PrimOp::Same => Ok(Word::from(b == c)),
+        PrimOp::Move => Ok(c),
+        PrimOp::TagOf => Ok(Word::Int(c.tag() as i64)),
+        _ => Err(bad("not a pure data operation")),
+    }
+}
+
+fn arith(prim: PrimOp, opcode: Opcode, b: Word, c: Word) -> Result<Word, MachineError> {
+    let bad = |reason: &'static str| MachineError::BadOperands { opcode, reason };
+    match (b, c) {
+        (Word::Int(x), Word::Int(y)) => match prim {
+            PrimOp::Add => Ok(Word::Int(x.wrapping_add(y))),
+            PrimOp::Sub => Ok(Word::Int(x.wrapping_sub(y))),
+            PrimOp::Mul => Ok(Word::Int(x.wrapping_mul(y))),
+            PrimOp::Div => {
+                if y == 0 {
+                    Err(bad("division by zero"))
+                } else {
+                    Ok(Word::Int(x.wrapping_div(y)))
+                }
+            }
+            _ => unreachable!("arith called with non-arith prim"),
+        },
+        // Mixed mode is primitive (§3.3): promote to float.
+        _ => {
+            let (x, y) = match (b.as_number(), c.as_number()) {
+                (Some(x), Some(y)) => (x, y),
+                _ => return Err(bad("arithmetic requires numbers")),
+            };
+            match prim {
+                PrimOp::Add => Ok(Word::Float(x + y)),
+                PrimOp::Sub => Ok(Word::Float(x - y)),
+                PrimOp::Mul => Ok(Word::Float(x * y)),
+                PrimOp::Div => {
+                    if y == 0.0 {
+                        Err(bad("division by zero"))
+                    } else {
+                        Ok(Word::Float(x / y))
+                    }
+                }
+                _ => unreachable!("arith called with non-arith prim"),
+            }
+        }
+    }
+}
+
+fn compare(prim: PrimOp, opcode: Opcode, b: Word, c: Word) -> Result<Word, MachineError> {
+    // Integer-integer comparisons stay exact; anything else goes through
+    // the float path (mixed mode).
+    let ord = match (b, c) {
+        (Word::Int(x), Word::Int(y)) => x.partial_cmp(&y),
+        _ => match (b.as_number(), c.as_number()) {
+            (Some(x), Some(y)) => x.partial_cmp(&y),
+            _ => {
+                return Err(MachineError::BadOperands {
+                    opcode,
+                    reason: "comparison requires numbers",
+                })
+            }
+        },
+    };
+    let Some(ord) = ord else {
+        // NaN comparisons are false for everything except Ne.
+        return Ok(Word::from(false));
+    };
+    let r = match prim {
+        PrimOp::Lt => ord.is_lt(),
+        PrimOp::Le => ord.is_le(),
+        PrimOp::Gt => ord.is_gt(),
+        PrimOp::Ge => ord.is_ge(),
+        _ => unreachable!("compare called with non-compare prim"),
+    };
+    Ok(Word::from(r))
+}
+
+fn value_eq(b: Word, c: Word) -> bool {
+    match (b, c) {
+        (Word::Int(x), Word::Int(y)) => x == y,
+        (Word::Float(x), Word::Float(y)) => x == y,
+        (Word::Int(x), Word::Float(y)) | (Word::Float(y), Word::Int(x)) => x as f64 == y,
+        _ => b == c,
+    }
+}
+
+fn int_bitop(b: Word, c: Word, f: impl Fn(i64, i64) -> i64) -> Option<Word> {
+    match (b, c) {
+        (Word::Int(x), Word::Int(y)) => Some(Word::Int(f(x, y))),
+        _ => None,
+    }
+}
+
+fn shift_logical(x: i64, s: i64) -> i64 {
+    if s >= 64 || s <= -64 {
+        0
+    } else if s >= 0 {
+        ((x as u64) << s) as i64
+    } else {
+        ((x as u64) >> (-s)) as i64
+    }
+}
+
+fn shift_arith(x: i64, s: i64) -> i64 {
+    if s >= 64 {
+        0
+    } else if s <= -64 {
+        x >> 63
+    } else if s >= 0 {
+        x.wrapping_shl(s as u32)
+    } else {
+        x >> (-s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use com_mem::AtomId;
+
+    fn op(p: PrimOp, b: Word, c: Word) -> Word {
+        data_op(p, Opcode::ADD, b, c).unwrap()
+    }
+
+    #[test]
+    fn integer_arithmetic() {
+        assert_eq!(op(PrimOp::Add, Word::Int(2), Word::Int(3)), Word::Int(5));
+        assert_eq!(op(PrimOp::Sub, Word::Int(2), Word::Int(3)), Word::Int(-1));
+        assert_eq!(op(PrimOp::Mul, Word::Int(4), Word::Int(3)), Word::Int(12));
+        assert_eq!(op(PrimOp::Div, Word::Int(7), Word::Int(2)), Word::Int(3));
+        assert_eq!(op(PrimOp::Mod, Word::Int(-7), Word::Int(3)), Word::Int(2));
+    }
+
+    #[test]
+    fn float_and_mixed_arithmetic() {
+        assert_eq!(
+            op(PrimOp::Add, Word::Float(1.5), Word::Float(2.0)),
+            Word::Float(3.5)
+        );
+        // "Some mixed mode instructions are primitive."
+        assert_eq!(
+            op(PrimOp::Mul, Word::Int(2), Word::Float(1.5)),
+            Word::Float(3.0)
+        );
+    }
+
+    #[test]
+    fn division_by_zero_traps() {
+        assert!(data_op(PrimOp::Div, Opcode::DIV, Word::Int(1), Word::Int(0)).is_err());
+        assert!(data_op(PrimOp::Div, Opcode::DIV, Word::Float(1.0), Word::Float(0.0)).is_err());
+        assert!(data_op(PrimOp::Mod, Opcode::MOD, Word::Int(1), Word::Int(0)).is_err());
+    }
+
+    #[test]
+    fn wrong_types_trap() {
+        let a = Word::Atom(AtomId(5));
+        assert!(data_op(PrimOp::Add, Opcode::ADD, a, Word::Int(1)).is_err());
+        assert!(data_op(PrimOp::Mod, Opcode::MOD, Word::Float(1.0), Word::Float(1.0)).is_err());
+        assert!(data_op(PrimOp::And, Opcode::AND, a, a).is_err());
+    }
+
+    #[test]
+    fn multiple_precision_support() {
+        assert_eq!(op(PrimOp::Carry, Word::Int(i64::MAX), Word::Int(1)), Word::Int(1));
+        assert_eq!(op(PrimOp::Carry, Word::Int(1), Word::Int(1)), Word::Int(0));
+        assert_eq!(
+            op(PrimOp::Mult1, Word::Int(1 << 40), Word::Int(1 << 30)),
+            Word::Int((1i128 << 70) as i64)
+        );
+        assert_eq!(
+            op(PrimOp::Mult2, Word::Int(1 << 40), Word::Int(1 << 30)),
+            Word::Int(((1i128 << 70) >> 64) as i64)
+        );
+    }
+
+    #[test]
+    fn shifts_and_bitfields() {
+        assert_eq!(op(PrimOp::Shift, Word::Int(1), Word::Int(4)), Word::Int(16));
+        assert_eq!(op(PrimOp::Shift, Word::Int(16), Word::Int(-4)), Word::Int(1));
+        assert_eq!(op(PrimOp::AShift, Word::Int(-16), Word::Int(-2)), Word::Int(-4));
+        assert_eq!(
+            op(PrimOp::Rotate, Word::Int(0x8000_0000), Word::Int(1)),
+            Word::Int(1)
+        );
+        assert_eq!(op(PrimOp::Mask, Word::Int(0xABCD), Word::Int(8)), Word::Int(0xCD));
+        assert_eq!(op(PrimOp::And, Word::Int(0b1100), Word::Int(0b1010)), Word::Int(0b1000));
+        assert_eq!(op(PrimOp::Or, Word::Int(0b1100), Word::Int(0b1010)), Word::Int(0b1110));
+        assert_eq!(op(PrimOp::Xor, Word::Int(0b1100), Word::Int(0b1010)), Word::Int(0b0110));
+        assert_eq!(op(PrimOp::Not, Word::Int(0), Word::Int(0)), Word::Int(-1));
+    }
+
+    #[test]
+    fn comparisons() {
+        assert_eq!(op(PrimOp::Lt, Word::Int(1), Word::Int(2)), Word::from(true));
+        assert_eq!(op(PrimOp::Ge, Word::Int(1), Word::Int(2)), Word::from(false));
+        assert_eq!(
+            op(PrimOp::Le, Word::Float(1.5), Word::Int(2)),
+            Word::from(true)
+        );
+        assert_eq!(op(PrimOp::EqVal, Word::Int(2), Word::Float(2.0)), Word::from(true));
+        assert_eq!(op(PrimOp::NeVal, Word::Int(2), Word::Int(2)), Word::from(false));
+    }
+
+    #[test]
+    fn identity_is_bit_equality() {
+        assert_eq!(op(PrimOp::Same, Word::Int(2), Word::Int(2)), Word::from(true));
+        // Int 2 and Float 2.0 are equal values but not the same object.
+        assert_eq!(op(PrimOp::Same, Word::Int(2), Word::Float(2.0)), Word::from(false));
+        let a = Word::Atom(AtomId(4));
+        assert_eq!(op(PrimOp::Same, a, a), Word::from(true));
+    }
+
+    #[test]
+    fn move_and_tag() {
+        assert_eq!(op(PrimOp::Move, Word::Int(9), Word::Int(7)), Word::Int(7));
+        assert_eq!(
+            op(PrimOp::TagOf, Word::Int(0), Word::Float(1.0)),
+            Word::Int(com_mem::Tag::Float as i64)
+        );
+    }
+
+    #[test]
+    fn nan_comparisons_are_false() {
+        assert_eq!(
+            op(PrimOp::Lt, Word::Float(f64::NAN), Word::Float(1.0)),
+            Word::from(false)
+        );
+        assert_eq!(
+            op(PrimOp::Ge, Word::Float(f64::NAN), Word::Float(1.0)),
+            Word::from(false)
+        );
+    }
+}

@@ -1,0 +1,83 @@
+//! Program images: what the compiler hands the machine.
+
+use com_isa::{CodeObject, Opcode, OpcodeTable};
+use com_mem::ClassId;
+use com_obj::{AtomTable, ClassTable};
+
+/// One compiled method: which class's dictionary it installs into, under
+/// which selector, with its code.
+#[derive(Debug, Clone)]
+pub struct MethodSource {
+    /// The class whose dictionary receives the method.
+    pub class: ClassId,
+    /// The selector (abstract opcode) it answers.
+    pub selector: Opcode,
+    /// The compiled code.
+    pub code: CodeObject,
+}
+
+/// A compiled program: class hierarchy, interning tables, and methods.
+///
+/// Images contain no memory addresses — code objects are stored into the
+/// machine's object space at [`load`](crate::Machine::load) time, so one
+/// image can boot any number of machines (the Fith machine consumes the
+/// same structure through its own loader).
+#[derive(Debug, Clone)]
+pub struct ProgramImage {
+    /// The class hierarchy (standard primitives installed; defined methods
+    /// are added at load time from `methods`).
+    pub classes: ClassTable,
+    /// Interned atoms.
+    pub atoms: AtomTable,
+    /// Interned selectors.
+    pub opcodes: OpcodeTable,
+    /// Compiled methods to install.
+    pub methods: Vec<MethodSource>,
+}
+
+impl ProgramImage {
+    /// An empty image with standard primitives installed — the starting
+    /// point for hand-assembled test programs.
+    pub fn empty() -> Self {
+        let mut classes = ClassTable::new();
+        com_obj::install_standard_primitives(&mut classes);
+        ProgramImage {
+            classes,
+            atoms: AtomTable::new(),
+            opcodes: OpcodeTable::new(),
+            methods: Vec::new(),
+        }
+    }
+
+    /// Adds a method to the image.
+    pub fn add_method(&mut self, class: ClassId, selector: Opcode, code: CodeObject) {
+        self.methods.push(MethodSource {
+            class,
+            selector,
+            code,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use com_isa::Assembler;
+
+    #[test]
+    fn empty_image_has_primitives() {
+        let img = ProgramImage::empty();
+        let d = &img.classes.get(ClassId::SMALL_INT).unwrap().dict;
+        assert!(d.lookup(Opcode::ADD).0.is_some());
+        assert!(img.methods.is_empty());
+    }
+
+    #[test]
+    fn add_method_records_source() {
+        let mut img = ProgramImage::empty();
+        let code = Assembler::new("t", 1).finish().unwrap();
+        img.add_method(ClassId::SMALL_INT, Opcode(100), code);
+        assert_eq!(img.methods.len(), 1);
+        assert_eq!(img.methods[0].selector, Opcode(100));
+    }
+}

@@ -1,0 +1,1498 @@
+//! The COM machine: registers, interpretation loop, traps.
+
+use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
+
+use com_cache::{CacheStats, SetAssocCache};
+use com_fpa::{Fpa, SegmentName};
+use com_isa::{CodeObject, Instr, Opcode, OpcodeTable, Operand, PrimOp};
+use com_mem::{gc, AbsAddr, AllocKind, ClassId, MemError, ObjectSpace, TeamId, Word};
+use com_obj::{lookup_method, AtomTable, ClassTable, Itlb, ItlbKey, MethodRef};
+
+use crate::{
+    CtxCacheStats, ContextCache, CycleStats, MachineConfig, MachineError, ProgramImage,
+    CONTEXT_WORDS, CTX_ARG0, CTX_ARG1, CTX_RCP, CTX_RIP, OPERAND_BIAS,
+};
+
+/// A decoded, resident method (simulator-side cache; the architectural
+/// instruction cache is modelled separately for timing).
+#[derive(Debug)]
+struct Decoded {
+    instrs: Vec<Instr>,
+    consts: Vec<(Word, ClassId)>,
+    #[allow(dead_code)]
+    n_args: u8,
+}
+
+/// A context register: virtual address plus its pretranslated absolute base
+/// ("the CP, NCP, and IP are pre-translated to absolute addresses and are
+/// cached in special hardware registers", §3.6).
+#[derive(Debug, Clone, Copy)]
+struct CtxReg {
+    fpa: Fpa,
+    abs: AbsAddr,
+    /// Context cache block index, when the context cache is enabled.
+    block: Option<usize>,
+}
+
+/// The outcome of a completed run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// The value the entry send stored through its result pointer.
+    pub result: Word,
+    /// Cycle accounting for the run.
+    pub stats: CycleStats,
+    /// Instructions executed.
+    pub steps: u64,
+}
+
+/// The Caltech Object Machine.
+///
+/// ```
+/// use com_core::{Machine, MachineConfig, ProgramImage};
+/// use com_isa::{Assembler, Opcode, Operand};
+/// use com_mem::{ClassId, Word};
+///
+/// # fn main() -> Result<(), com_core::MachineError> {
+/// // A method on SmallInteger: "double" answers self + self.
+/// let mut image = ProgramImage::empty();
+/// let sel = image.opcodes.intern("double");
+/// let mut asm = Assembler::new("SmallInteger>>double", 1);
+/// // c2 <- c1 + c1 ; return c2 via the result pointer in c0
+/// asm.emit_three(Opcode::ADD, Operand::Cur(2), Operand::Cur(1), Operand::Cur(1))?;
+/// asm.emit_three_ret(Opcode::MOVE, Operand::Cur(0), Operand::Cur(2), Operand::Cur(2))?;
+/// image.add_method(ClassId::SMALL_INT, sel, asm.finish()?);
+///
+/// let mut m = Machine::new(MachineConfig::default());
+/// m.load(&image)?;
+/// let out = m.send("double", Word::Int(21), &[], 10_000)?;
+/// assert_eq!(out.result, Word::Int(42));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Machine {
+    config: MachineConfig,
+    space: ObjectSpace,
+    team: TeamId,
+    classes: ClassTable,
+    atoms: AtomTable,
+    opcodes: OpcodeTable,
+    itlb: Option<Itlb>,
+    icache: Option<SetAssocCache<u64, ()>>,
+    cc: Option<ContextCache>,
+    methods: HashMap<u64, Rc<Decoded>>,
+    code_roots: Vec<Fpa>,
+    context_class: ClassId,
+    cp: Option<CtxReg>,
+    ncp: Option<CtxReg>,
+    /// FP register: the free context list (simulated as a vector; each
+    /// alloc/free is the paper's single memory reference).
+    free_list: Vec<CtxReg>,
+    /// Segments of contexts whose pointers escaped into heap objects —
+    /// non-LIFO contexts that must be left to the garbage collector.
+    escaped: HashSet<SegmentName>,
+    /// Current method: base capability, absolute base, program counter.
+    ip: Option<(Fpa, AbsAddr, Rc<Decoded>)>,
+    pc: u64,
+    privileged: bool,
+    result_cell: Option<Fpa>,
+    last_dest: Option<(AbsAddr, u64)>,
+    stats: CycleStats,
+    steps: u64,
+    halted: Option<Word>,
+}
+
+impl Machine {
+    /// Creates a machine with standard primitives installed and one team.
+    pub fn new(config: MachineConfig) -> Self {
+        let space = ObjectSpace::new(config.space_log2, config.format);
+        let mut classes = ClassTable::new();
+        com_obj::install_standard_primitives(&mut classes);
+        let context_class = classes
+            .define("Context", Some(ClassTable::OBJECT), 0)
+            .expect("fresh table");
+        Machine {
+            itlb: config.itlb.map(Itlb::new),
+            icache: config
+                .icache
+                .map(|c| SetAssocCache::with_indexer(c, |k| *k)),
+            cc: config.ctx_blocks.map(ContextCache::new),
+            config,
+            space,
+            team: TeamId(0),
+            classes,
+            atoms: AtomTable::new(),
+            opcodes: OpcodeTable::new(),
+            methods: HashMap::new(),
+            code_roots: Vec::new(),
+            context_class,
+            cp: None,
+            ncp: None,
+            free_list: Vec::new(),
+            escaped: HashSet::new(),
+            ip: None,
+            pc: 0,
+            privileged: false,
+            result_cell: None,
+            last_dest: None,
+            stats: CycleStats::default(),
+            steps: 0,
+            halted: None,
+        }
+    }
+
+    /// Loads a program image: adopts its class hierarchy and interning
+    /// tables, stores every method's code object, and installs the defined
+    /// methods into the class dictionaries.
+    ///
+    /// # Errors
+    ///
+    /// Propagates storage errors.
+    pub fn load(&mut self, image: &ProgramImage) -> Result<(), MachineError> {
+        self.classes = image.classes.clone();
+        self.atoms = image.atoms.clone();
+        self.opcodes = image.opcodes.clone();
+        self.context_class = match self.classes.by_name("Context") {
+            Some(c) => c,
+            None => self
+                .classes
+                .define("Context", Some(ClassTable::OBJECT), 0)
+                .expect("name free"),
+        };
+        for m in &image.methods {
+            let base = m.code.store(&mut self.space, self.team)?;
+            self.code_roots.push(base);
+            self.classes.install(
+                m.class,
+                m.selector,
+                MethodRef::Defined(com_obj::DefinedMethod {
+                    code: base,
+                    n_args: m.code.n_args,
+                }),
+            );
+        }
+        if let Some(itlb) = &mut self.itlb {
+            itlb.flush();
+        }
+        Ok(())
+    }
+
+    /// The class table (inspection).
+    pub fn classes(&self) -> &ClassTable {
+        &self.classes
+    }
+
+    /// The atom table (inspection).
+    pub fn atoms(&self) -> &AtomTable {
+        &self.atoms
+    }
+
+    /// The selector table (inspection).
+    pub fn opcodes(&self) -> &OpcodeTable {
+        &self.opcodes
+    }
+
+    /// The object space (inspection: allocation stats, ATLB stats).
+    pub fn space(&self) -> &ObjectSpace {
+        &self.space
+    }
+
+    /// Mutable object space access (test setup, workload data).
+    pub fn space_mut(&mut self) -> &mut ObjectSpace {
+        &mut self.space
+    }
+
+    /// The machine's team.
+    pub fn team(&self) -> TeamId {
+        self.team
+    }
+
+    /// The class used for contexts.
+    pub fn context_class(&self) -> ClassId {
+        self.context_class
+    }
+
+    /// Cycle statistics so far.
+    pub fn stats(&self) -> CycleStats {
+        self.stats
+    }
+
+    /// ITLB first-level statistics, if an ITLB is configured.
+    pub fn itlb_stats(&self) -> Option<CacheStats> {
+        self.itlb.as_ref().map(|t| t.l1_stats())
+    }
+
+    /// Instruction cache statistics, if configured.
+    pub fn icache_stats(&self) -> Option<CacheStats> {
+        self.icache.as_ref().map(|c| c.stats())
+    }
+
+    /// Context cache statistics, if configured.
+    pub fn ctx_cache_stats(&self) -> Option<CtxCacheStats> {
+        self.cc.as_ref().map(|c| c.stats())
+    }
+
+    /// Resets all statistics (warmup boundary); contents stay resident.
+    pub fn reset_stats(&mut self) {
+        self.stats = CycleStats::default();
+        if let Some(t) = &mut self.itlb {
+            t.reset_stats();
+        }
+        if let Some(c) = &mut self.icache {
+            c.reset_stats();
+        }
+        if let Some(c) = &mut self.cc {
+            c.reset_stats();
+        }
+    }
+
+    /// Grants or revokes the PS privilege bit (`as:` legality, §3.3).
+    pub fn set_privileged(&mut self, p: bool) {
+        self.privileged = p;
+    }
+
+    /// Interns a selector (delegates to the opcode table).
+    pub fn intern_selector(&mut self, name: &str) -> Opcode {
+        self.opcodes.intern(name)
+    }
+
+    // ------------------------------------------------------------------
+    // Word classes
+    // ------------------------------------------------------------------
+
+    fn class_of_word(&mut self, w: &Word) -> Result<ClassId, MachineError> {
+        match w.primitive_class() {
+            Some(c) => Ok(c),
+            None => {
+                let p = w.as_ptr().expect("only pointers lack primitive class");
+                Ok(self.space.class_of(self.team, p)?)
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Context access
+    // ------------------------------------------------------------------
+
+    fn ctx_reg(&self, next: bool) -> Result<CtxReg, MachineError> {
+        let r = if next { self.ncp } else { self.cp };
+        r.ok_or(MachineError::NoContext)
+    }
+
+    fn ctx_read_raw(&mut self, next: bool, off: u64) -> Result<(Word, ClassId), MachineError> {
+        let reg = self.ctx_reg(next)?;
+        if off >= CONTEXT_WORDS {
+            return Err(MachineError::BadOperands {
+                opcode: Opcode::MOVE,
+                reason: "context offset beyond 32 words",
+            });
+        }
+        if let Some(cc) = &mut self.cc {
+            let block = reg.block.expect("vector contexts are resident");
+            Ok(cc.read(block, off))
+        } else {
+            let w = self
+                .space
+                .read_kind(self.team, reg.fpa.with_offset(off)?, AllocKind::Context)?;
+            let c = self.class_of_word(&w)?;
+            Ok((w, c))
+        }
+    }
+
+    fn ctx_write_raw(
+        &mut self,
+        next: bool,
+        off: u64,
+        w: Word,
+        class: ClassId,
+    ) -> Result<(), MachineError> {
+        let reg = self.ctx_reg(next)?;
+        if off >= CONTEXT_WORDS {
+            return Err(MachineError::BadOperands {
+                opcode: Opcode::MOVE,
+                reason: "context offset beyond 32 words",
+            });
+        }
+        if let Some(cc) = &mut self.cc {
+            let block = reg.block.expect("vector contexts are resident");
+            cc.write(block, off, w, class);
+            Ok(())
+        } else {
+            self.space
+                .write_kind(self.team, reg.fpa.with_offset(off)?, w, AllocKind::Context)?;
+            Ok(())
+        }
+    }
+
+    /// Reads an operand-space context slot (bias applied).
+    fn ctx_read(&mut self, next: bool, op_off: u64) -> Result<(Word, ClassId), MachineError> {
+        self.ctx_read_raw(next, op_off + OPERAND_BIAS)
+    }
+
+    /// Writes an operand-space context slot (bias applied).
+    fn ctx_write(
+        &mut self,
+        next: bool,
+        op_off: u64,
+        w: Word,
+        class: ClassId,
+    ) -> Result<(), MachineError> {
+        self.ctx_write_raw(next, op_off + OPERAND_BIAS, w, class)
+    }
+
+    // ------------------------------------------------------------------
+    // Coherent memory access (at:/at:put: and indirect result writes)
+    // ------------------------------------------------------------------
+
+    /// Resolves `ptr` advanced by `idx` words, following growth forwarding
+    /// when the stale exponent cannot even encode the offset (§2.2).
+    fn index_addr(&mut self, ptr: Fpa, idx: u64) -> Result<Fpa, MachineError> {
+        let mut p = ptr;
+        for _ in 0..64 {
+            match p.with_offset(p.offset() + idx) {
+                Ok(a) => return Ok(a),
+                Err(_) => {
+                    // Out of this name's range: consult the descriptor for a
+                    // forward, exactly like the bounds trap handler.
+                    let seg = p.segment();
+                    let ts = self.space.mmu().team(self.team)?;
+                    match ts.table.get(seg).and_then(|d| d.forward) {
+                        Some(fwd) => p = fwd.with_offset(p.offset()).unwrap_or(fwd),
+                        None => {
+                            return Err(MachineError::Mem(MemError::Bounds {
+                                addr: p,
+                                offset: p.offset() + idx,
+                                length: 0,
+                            }))
+                        }
+                    }
+                }
+            }
+        }
+        Err(MachineError::Mem(MemError::Bounds {
+            addr: ptr,
+            offset: idx,
+            length: 0,
+        }))
+    }
+
+    /// Memory read that checks the context cache directory first ("to
+    /// access a context using an absolute address, the address is input to
+    /// the cache directory", §3.6).
+    fn mem_read(&mut self, p: Fpa) -> Result<(Word, ClassId), MachineError> {
+        let t = self.space.translate(self.team, p)?;
+        let kind = if t.class == self.context_class {
+            AllocKind::Context
+        } else {
+            AllocKind::Object
+        };
+        if self.cc.is_some() && kind == AllocKind::Context {
+            let base = AbsAddr(t.abs.0 & !(CONTEXT_WORDS - 1));
+            let hit = self.cc.as_mut().expect("checked").find(base);
+            if let Some(block) = hit {
+                let off = t.abs.0 & (CONTEXT_WORDS - 1);
+                return Ok(self.cc.as_mut().expect("checked").read(block, off));
+            }
+        }
+        let w = self.space.read_abs(t.abs, kind)?;
+        let c = self.class_of_word(&w)?;
+        Ok((w, c))
+    }
+
+    /// Memory write, coherent with the context cache, with escape marking:
+    /// a context pointer stored into a *heap object* makes that context
+    /// non-LIFO (it may outlive its activation).
+    fn mem_write(&mut self, p: Fpa, w: Word, class: ClassId) -> Result<(), MachineError> {
+        let t = self.space.translate(self.team, p)?;
+        let target_is_context = t.class == self.context_class;
+        if !target_is_context && class == self.context_class {
+            if let Some(ptr) = w.as_ptr() {
+                self.escaped.insert(ptr.segment());
+                self.stats.contexts_left_to_gc += 1;
+            }
+        }
+        let kind = if target_is_context {
+            AllocKind::Context
+        } else {
+            AllocKind::Object
+        };
+        if self.cc.is_some() && target_is_context {
+            let base = AbsAddr(t.abs.0 & !(CONTEXT_WORDS - 1));
+            let hit = self.cc.as_mut().expect("checked").find(base);
+            if let Some(block) = hit {
+                let off = t.abs.0 & (CONTEXT_WORDS - 1);
+                self.cc.as_mut().expect("checked").write(block, off, w, class);
+                return Ok(());
+            }
+        }
+        self.space.write_abs(t.abs, w, kind)?;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Context allocation / free list
+    // ------------------------------------------------------------------
+
+    fn alloc_context(&mut self) -> Result<CtxReg, MachineError> {
+        self.stats.contexts_allocated += 1;
+        if let Some(mut reg) = self.free_list.pop() {
+            // One memory reference pops the free list (§2.3); the block is
+            // placed and cleared in the context cache.
+            if let Some(cc) = &mut self.cc {
+                let (block, ev) = cc.alloc_next(reg.abs);
+                self.write_back(ev)?;
+                reg.block = Some(block);
+            } else {
+                self.clear_context_memory(reg.fpa)?;
+            }
+            return Ok(reg);
+        }
+        // Pool empty: create a fresh context object.
+        let fpa = match self.space.create(
+            self.team,
+            self.context_class,
+            CONTEXT_WORDS,
+            AllocKind::Context,
+        ) {
+            Ok(f) => f,
+            Err(MemError::OutOfAbsoluteSpace { .. }) => {
+                self.collect_garbage()?;
+                self.space.create(
+                    self.team,
+                    self.context_class,
+                    CONTEXT_WORDS,
+                    AllocKind::Context,
+                )?
+            }
+            Err(e) => return Err(e.into()),
+        };
+        let abs = self.space.translate(self.team, fpa)?.abs;
+        let block = if let Some(cc) = &mut self.cc {
+            let (block, ev) = cc.alloc_next(abs);
+            self.write_back(ev)?;
+            Some(block)
+        } else {
+            None
+        };
+        Ok(CtxReg { fpa, abs, block })
+    }
+
+    fn clear_context_memory(&mut self, fpa: Fpa) -> Result<(), MachineError> {
+        for off in 0..CONTEXT_WORDS {
+            self.space.write_kind(
+                self.team,
+                fpa.with_offset(off)?,
+                Word::Uninit,
+                AllocKind::Context,
+            )?;
+        }
+        Ok(())
+    }
+
+    fn write_back(&mut self, ev: Option<crate::ctxcache::Eviction>) -> Result<(), MachineError> {
+        if let Some(ev) = ev {
+            if ev.dirty {
+                for (i, (w, _)) in ev.words.iter().enumerate() {
+                    self.space
+                        .write_abs(ev.abs.offset(i as u64), *w, AllocKind::Context)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs the copyback engine if the free vector is low (§2.3). The copy
+    /// runs "concurrently with program execution", so no cycles are charged.
+    fn maybe_copyback(&mut self) -> Result<(), MachineError> {
+        if !self.config.copyback {
+            return Ok(());
+        }
+        let low = self.config.copyback_low_water;
+        loop {
+            let Some(cc) = &mut self.cc else { return Ok(()) };
+            if !cc.needs_copyback(low) {
+                return Ok(());
+            }
+            let Some(ev) = cc.copyback_victim() else { return Ok(()) };
+            // Victim blocks may belong to CP/NCP ancestors; fix block links.
+            self.write_back(Some(ev))?;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Method residency
+    // ------------------------------------------------------------------
+
+    fn load_method(&mut self, code: Fpa) -> Result<(Fpa, AbsAddr, Rc<Decoded>), MachineError> {
+        let base = code.base();
+        let t = self.space.translate(self.team, base)?;
+        if let Some(d) = self.methods.get(&t.abs.0) {
+            return Ok((base, t.abs, Rc::clone(d)));
+        }
+        let n_instrs = self
+            .space
+            .read_kind(self.team, base, AllocKind::Code)?
+            .as_int()
+            .ok_or(MachineError::BadMethod(code))? as u64;
+        let n_args = self
+            .space
+            .read_kind(self.team, base.with_offset(1)?, AllocKind::Code)?
+            .as_int()
+            .ok_or(MachineError::BadMethod(code))? as u8;
+        let n_consts = self
+            .space
+            .read_kind(self.team, base.with_offset(2)?, AllocKind::Code)?
+            .as_int()
+            .ok_or(MachineError::BadMethod(code))? as u64;
+        let mut instrs = Vec::with_capacity(n_instrs as usize);
+        for i in 0..n_instrs {
+            let w = self.space.read_kind(
+                self.team,
+                base.with_offset(CodeObject::HEADER_WORDS + i)?,
+                AllocKind::Code,
+            )?;
+            let payload = w.as_instr().ok_or(MachineError::ExecutingData(w))?;
+            instrs.push(Instr::decode(payload)?);
+        }
+        let mut consts = Vec::with_capacity(n_consts as usize);
+        for i in 0..n_consts {
+            let w = self.space.read_kind(
+                self.team,
+                base.with_offset(CodeObject::HEADER_WORDS + n_instrs + i)?,
+                AllocKind::Code,
+            )?;
+            let c = self.class_of_word(&w)?;
+            consts.push((w, c));
+        }
+        let d = Rc::new(Decoded {
+            instrs,
+            consts,
+            n_args,
+        });
+        self.methods.insert(t.abs.0, Rc::clone(&d));
+        Ok((base, t.abs, d))
+    }
+
+    // ------------------------------------------------------------------
+    // Operand fetch
+    // ------------------------------------------------------------------
+
+    fn fetch_operand(&mut self, op: Operand) -> Result<(Word, ClassId), MachineError> {
+        match op {
+            Operand::Cur(o) => self.ctx_read(false, o as u64),
+            Operand::Next(o) => self.ctx_read(true, o as u64),
+            Operand::Const(i) => {
+                let (_, _, d) = self.ip.as_ref().ok_or(MachineError::NoContext)?;
+                d.consts
+                    .get(i as usize)
+                    .copied()
+                    .ok_or(MachineError::BadOperands {
+                        opcode: Opcode::MOVE,
+                        reason: "constant index beyond method constant table",
+                    })
+            }
+        }
+    }
+
+    /// Absolute address of a context-slot operand, for hazard tracking.
+    fn operand_abs(&self, op: Operand) -> Option<(AbsAddr, u64)> {
+        match op {
+            Operand::Cur(o) => self
+                .cp
+                .map(|r| (r.abs, o as u64 + OPERAND_BIAS)),
+            Operand::Next(o) => self
+                .ncp
+                .map(|r| (r.abs, o as u64 + OPERAND_BIAS)),
+            Operand::Const(_) => None,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Dispatch
+    // ------------------------------------------------------------------
+
+    fn resolve(&mut self, key: ItlbKey) -> Result<MethodRef, MachineError> {
+        if let Some(itlb) = &mut self.itlb {
+            if let Some(m) = itlb.lookup(key) {
+                return Ok(m);
+            }
+        }
+        // Full association: "a step which always occurs in the execution of
+        // Smalltalk" when the buffer misses.
+        let out = lookup_method(&self.classes, key.classes[0], key.opcode);
+        self.stats.full_lookups += 1;
+        self.stats.lookup_cycles += out.cost_cycles(self.config.lookup_cost);
+        let m = out.method.ok_or(MachineError::DoesNotUnderstand {
+            opcode: key.opcode,
+            class: key.classes[0],
+        })?;
+        if let Some(itlb) = &mut self.itlb {
+            itlb.fill(key, m);
+        }
+        Ok(m)
+    }
+
+    // ------------------------------------------------------------------
+    // Execution
+    // ------------------------------------------------------------------
+
+    /// Executes one instruction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError::Halted`] when the program returns from its
+    /// entry send, or any trap raised during execution.
+    pub fn step(&mut self) -> Result<(), MachineError> {
+        if let Some(w) = self.halted {
+            return Err(MachineError::Halted(w));
+        }
+        let (method_fpa, method_abs, decoded) = match &self.ip {
+            Some((f, a, d)) => (*f, *a, Rc::clone(d)),
+            None => return Err(MachineError::NoContext),
+        };
+        if self.pc >= decoded.instrs.len() as u64 {
+            return Err(MachineError::BadMethod(method_fpa));
+        }
+        // Step 1: fetch through the instruction cache.
+        if let Some(ic) = &mut self.icache {
+            let addr = method_abs.0 + CodeObject::HEADER_WORDS + self.pc;
+            if ic.lookup(&addr).is_none() {
+                ic.fill(addr, ());
+                self.stats.icache_miss_cycles += self.config.icache_miss_penalty;
+            }
+        }
+        let instr = decoded.instrs[self.pc as usize];
+        self.stats.instructions += 1;
+        self.stats.base_cycles += 2;
+        self.steps += 1;
+
+        // Hazard check (§3.6): the compiler must not read the previous
+        // instruction's destination.
+        if let Some(last) = self.last_dest {
+            let hazard = instr
+                .sources()
+                .iter()
+                .filter_map(|s| self.operand_abs(*s))
+                .any(|loc| loc == last);
+            if hazard {
+                if self.config.strict_hazards {
+                    return Err(MachineError::Hazard { pc: self.pc });
+                }
+                self.stats.interlock_cycles += 1;
+            }
+        }
+        self.last_dest = None;
+
+        // Step 2: operand fetch (values + class tags).
+        let (b, c, key) = match instr {
+            Instr::Three { op, b, c, .. } => {
+                let bv = self.fetch_operand(b)?;
+                let cv = self.fetch_operand(c)?;
+                (bv, cv, ItlbKey::binary(op, bv.1, cv.1))
+            }
+            Instr::Zero { op, nargs, .. } => {
+                // Implicit operands: arg1 (receiver) and arg2 in the next
+                // context. Dispatch still keys on the receiver's class even
+                // for nargs = 0 sends (the receiver slot is always arg1).
+                let bv = self.ctx_read(true, 1)?;
+                let cv = if nargs >= 2 {
+                    self.ctx_read(true, 2)?
+                } else {
+                    (Word::Uninit, ClassId::NONE)
+                };
+                let key = if nargs >= 2 {
+                    ItlbKey::binary(op, bv.1, cv.1)
+                } else {
+                    ItlbKey::unary(op, bv.1)
+                };
+                (bv, cv, key)
+            }
+        };
+
+        // Step 3: translate through the ITLB (or pay full lookup).
+        let method = self.resolve(key)?;
+
+        // Steps 4-5: perform the operation / method call, store results.
+        match method {
+            MethodRef::Primitive(p) => self.exec_primitive(instr, p, b, c)?,
+            MethodRef::Defined(d) => self.do_call(instr, d)?,
+        }
+
+        if let Some(interval) = self.config.gc_interval {
+            if self.steps % interval == 0 {
+                self.collect_garbage()?;
+            }
+        }
+        self.maybe_copyback()?;
+        if let Some(w) = self.halted {
+            return Err(MachineError::Halted(w));
+        }
+        Ok(())
+    }
+
+    fn truthy(&self, w: Word) -> Result<bool, MachineError> {
+        match w {
+            Word::Atom(a) => {
+                AtomTable::truthiness(a).ok_or(MachineError::BadBranchCondition(w))
+            }
+            Word::Int(i) => Ok(i != 0),
+            other => Err(MachineError::BadBranchCondition(other)),
+        }
+    }
+
+    fn exec_primitive(
+        &mut self,
+        instr: Instr,
+        p: PrimOp,
+        b: (Word, ClassId),
+        c: (Word, ClassId),
+    ) -> Result<(), MachineError> {
+        let opcode = instr.opcode();
+        let bad = |reason: &'static str| MachineError::BadOperands { opcode, reason };
+        match p {
+            PrimOp::Fjmp | PrimOp::Rjmp => {
+                let taken = self.truthy(b.0)?;
+                let disp = c.0.as_int().ok_or_else(|| bad("jump displacement must be an integer"))? as u64;
+                if taken {
+                    self.stats.taken_branches += 1;
+                    self.stats.branch_delay_cycles += 1;
+                    if p == PrimOp::Fjmp {
+                        self.pc = self.pc + 1 + disp;
+                    } else {
+                        let target = (self.pc + 1)
+                            .checked_sub(disp)
+                            .ok_or_else(|| bad("backward jump before method start"))?;
+                        self.pc = target;
+                    }
+                } else {
+                    self.pc += 1;
+                }
+                Ok(())
+            }
+            PrimOp::Xfer => self.do_xfer(instr),
+            PrimOp::At => {
+                self.stats.memory_op_cycles += self.config.memory_penalty;
+                let ptr = b.0.as_ptr().ok_or_else(|| bad("at: requires an object pointer"))?;
+                let idx = c.0.as_int().ok_or_else(|| bad("at: requires an integer index"))?;
+                if idx < 0 {
+                    return Err(bad("at: index is negative"));
+                }
+                let addr = self.index_addr(ptr, idx as u64)?;
+                let v = self.mem_read(addr)?;
+                self.write_result(instr, v.0, v.1)
+            }
+            PrimOp::AtPut => {
+                self.stats.memory_op_cycles += self.config.memory_penalty;
+                // a at: b put: c — A holds the value (read, not written).
+                let (value, vclass) = match instr {
+                    Instr::Three { a, .. } => self.fetch_operand(a)?,
+                    Instr::Zero { .. } => return Err(bad("at:put: needs three operands")),
+                };
+                let ptr = b.0.as_ptr().ok_or_else(|| bad("at:put: requires an object pointer"))?;
+                let idx = c.0.as_int().ok_or_else(|| bad("at:put: requires an integer index"))?;
+                if idx < 0 {
+                    return Err(bad("at:put: index is negative"));
+                }
+                let addr = self.index_addr(ptr, idx as u64)?;
+                self.mem_write(addr, value, vclass)?;
+                if instr.returns() {
+                    self.do_return()?;
+                } else {
+                    self.pc += 1;
+                }
+                self.last_dest = None;
+                Ok(())
+            }
+            PrimOp::Movea => {
+                let target = match instr {
+                    Instr::Three { b: src, .. } => src,
+                    Instr::Zero { .. } => return Err(bad("movea needs operands")),
+                };
+                let ptr = match target {
+                    Operand::Cur(o) => {
+                        let r = self.ctx_reg(false)?;
+                        r.fpa.with_offset(o as u64 + OPERAND_BIAS)?
+                    }
+                    Operand::Next(o) => {
+                        let r = self.ctx_reg(true)?;
+                        r.fpa.with_offset(o as u64 + OPERAND_BIAS)?
+                    }
+                    Operand::Const(_) => return Err(bad("movea of a constant")),
+                };
+                self.write_result(instr, Word::Ptr(ptr), self.context_class)
+            }
+            PrimOp::New => {
+                self.stats.memory_op_cycles += self.config.memory_penalty;
+                let class = ClassId(
+                    b.0.as_int().ok_or_else(|| bad("new requires an integer class id"))? as u16,
+                );
+                if self.classes.get(class).is_none() {
+                    return Err(bad("new of an unknown class"));
+                }
+                let words =
+                    c.0.as_int().ok_or_else(|| bad("new requires an integer size"))?;
+                if words < 0 {
+                    return Err(bad("new with negative size"));
+                }
+                let obj = match self.space.create(
+                    self.team,
+                    class,
+                    words as u64,
+                    AllocKind::Object,
+                ) {
+                    Ok(o) => o,
+                    Err(MemError::OutOfAbsoluteSpace { .. }) => {
+                        self.collect_garbage()?;
+                        self.space
+                            .create(self.team, class, words as u64, AllocKind::Object)?
+                    }
+                    Err(e) => return Err(e.into()),
+                };
+                self.write_result(instr, Word::Ptr(obj), class)
+            }
+            PrimOp::Grow => {
+                self.stats.memory_op_cycles += self.config.memory_penalty;
+                let ptr = b.0.as_ptr().ok_or_else(|| bad("grow requires an object pointer"))?;
+                let words =
+                    c.0.as_int().ok_or_else(|| bad("grow requires an integer size"))?;
+                if words < 0 {
+                    return Err(bad("grow with negative size"));
+                }
+                let new = self.space.grow(self.team, ptr.base(), words as u64)?;
+                let class = self.space.class_of(self.team, new)?;
+                self.write_result(instr, Word::Ptr(new), class)
+            }
+            PrimOp::TagAs => {
+                if !self.privileged {
+                    return Err(MachineError::Privileged);
+                }
+                let code = c.0.as_int().ok_or_else(|| bad("as: requires an integer tag code"))?;
+                let v = match (b.0, code) {
+                    (Word::Int(x), 3) => Word::Atom(com_mem::AtomId(x as u32)),
+                    (Word::Int(x), 5) => {
+                        let f = Fpa::from_raw(x as u64, self.config.format)
+                            .map_err(MemError::from)?;
+                        Word::Ptr(f)
+                    }
+                    (Word::Atom(a), 1) => Word::Int(a.0 as i64),
+                    (Word::Ptr(f), 1) => Word::Int(f.raw() as i64),
+                    _ => return Err(bad("unsupported retagging")),
+                };
+                let class = self.class_of_word(&v)?;
+                self.write_result(instr, v, class)
+            }
+            // Pure data operations.
+            other => {
+                let v = crate::exec::data_op(other, opcode, b.0, c.0)?;
+                let class = self.class_of_word(&v)?;
+                self.write_result(instr, v, class)
+            }
+        }
+    }
+
+    /// Stores a primitive result per the instruction's format, performing
+    /// the return sequence when the return bit is set.
+    fn write_result(
+        &mut self,
+        instr: Instr,
+        value: Word,
+        class: ClassId,
+    ) -> Result<(), MachineError> {
+        if instr.returns() {
+            // "When a method completes it is expected to place its result
+            // (if any) at the address specified by the first operand": the
+            // A slot holds the result pointer; indirect through it.
+            if let Instr::Three { a, .. } = instr {
+                let (ptr_w, _) = self.fetch_operand(a)?;
+                match ptr_w {
+                    Word::Ptr(p) => self.mem_write(p, value, class)?,
+                    // No result expected (result pointer never set).
+                    Word::Uninit => {}
+                    other => {
+                        return Err(MachineError::BadOperands {
+                            opcode: instr.opcode(),
+                            reason: "result pointer slot does not hold a pointer",
+                        })
+                        .map_err(|e| {
+                            let _ = other;
+                            e
+                        })
+                    }
+                }
+            }
+            self.do_return()?;
+            self.last_dest = None;
+            return Ok(());
+        }
+        match instr {
+            Instr::Three { a, .. } => {
+                match a {
+                    Operand::Cur(o) => self.ctx_write(false, o as u64, value, class)?,
+                    Operand::Next(o) => self.ctx_write(true, o as u64, value, class)?,
+                    Operand::Const(_) => unreachable!("validated at construction"),
+                }
+                self.last_dest = self.operand_abs(a);
+            }
+            Instr::Zero { .. } => {
+                return Err(MachineError::BadOperands {
+                    opcode: instr.opcode(),
+                    reason: "zero-address primitive without return bit has no destination",
+                });
+            }
+        }
+        self.pc += 1;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Calls, returns, transfers
+    // ------------------------------------------------------------------
+
+    fn do_call(&mut self, instr: Instr, d: com_obj::DefinedMethod) -> Result<(), MachineError> {
+        // Operand copy (automatic argument transmission, §3.5): arg0 is the
+        // effective address of A, arg1 = B, arg2 = C.
+        let copied: u64 = match instr {
+            Instr::Three { a, b, c, .. } => {
+                let result_ptr = match a {
+                    Operand::Cur(o) => {
+                        let r = self.ctx_reg(false)?;
+                        Word::Ptr(r.fpa.with_offset(o as u64 + OPERAND_BIAS)?)
+                    }
+                    Operand::Next(o) => {
+                        let r = self.ctx_reg(true)?;
+                        Word::Ptr(r.fpa.with_offset(o as u64 + OPERAND_BIAS)?)
+                    }
+                    Operand::Const(_) => unreachable!("validated at construction"),
+                };
+                let bv = self.fetch_operand(b)?;
+                let cv = self.fetch_operand(c)?;
+                self.ctx_write_raw(true, CTX_ARG0, result_ptr, self.context_class)?;
+                self.ctx_write_raw(true, CTX_ARG1, bv.0, bv.1)?;
+                self.ctx_write_raw(true, CTX_ARG1 + 1, cv.0, cv.1)?;
+                3
+            }
+            Instr::Zero { .. } => 0, // programmer placed arguments already
+        };
+        self.stats.calls += 1;
+        // One cycle to flush the prefetched instruction, one for the
+        // linkage operations (§3.6), one per operand copied.
+        self.stats.call_linkage_cycles += 2;
+        self.stats.operand_copy_cycles += copied;
+
+        // Store the continuation into the current context.
+        let (method_fpa, _, _) = self.ip.as_ref().ok_or(MachineError::NoContext)?;
+        let rip = method_fpa.with_offset(CodeObject::HEADER_WORDS + self.pc + 1)?;
+        self.ctx_write_raw(false, CTX_RIP, Word::Ptr(rip), ClassId::INSTR)?;
+
+        // CP <- NCP; the next context's RCP was set at allocation.
+        let new_cp = self.ctx_reg(true)?;
+        self.cp = Some(new_cp);
+        if let Some(cc) = &mut self.cc {
+            cc.set_current(new_cp.block);
+            cc.set_next(None);
+        }
+        // Allocate the new next context ("any NCP relative accesses will be
+        // held up until the new context is available").
+        let mut next = self.alloc_context()?;
+        if let Some(cc) = &mut self.cc {
+            next.block = cc.next();
+        }
+        self.ncp = Some(next);
+        self.ctx_write_raw(true, CTX_RCP, Word::Ptr(new_cp.fpa), self.context_class)?;
+
+        // IP <- first instruction of the method.
+        let (f, a, dec) = self.load_method(d.code)?;
+        self.ip = Some((f, a, dec));
+        self.pc = 0;
+        self.last_dest = None;
+        Ok(())
+    }
+
+    fn do_return(&mut self) -> Result<(), MachineError> {
+        self.stats.returns += 1;
+        let callee = self.ctx_reg(false)?;
+        let (rcp, _) = self.ctx_read_raw(false, CTX_RCP)?;
+        let caller_fpa = match rcp {
+            Word::Ptr(p) => p,
+            // RCP never set: returning from the entry send — halt.
+            _ => {
+                let result = match self.result_cell {
+                    Some(cell) => self.mem_read(cell)?.0,
+                    None => Word::Uninit,
+                };
+                self.halted = Some(result);
+                return Ok(());
+            }
+        };
+
+        let old_ncp = self.ncp;
+        let callee_escaped = self.escaped.contains(&callee.fpa.segment());
+
+        if callee_escaped || !self.config.eager_lifo_free {
+            // Non-LIFO (or eager freeing disabled): the callee survives for
+            // the garbage collector; keep the pre-allocated next context.
+            if !self.config.eager_lifo_free && !callee_escaped {
+                self.stats.contexts_left_to_gc += 1;
+            }
+        } else {
+            // LIFO: recycle the callee as the next context and return the
+            // pre-allocated next to the free list (explicit free, §2.3).
+            if let Some(ncp) = old_ncp {
+                if let Some(cc) = &mut self.cc {
+                    cc.release(ncp.abs);
+                }
+                self.free_list
+                    .push(CtxReg { block: None, ..ncp });
+                self.stats.contexts_freed_lifo += 1;
+            }
+            let mut recycled = callee;
+            if let Some(cc) = &mut self.cc {
+                let block = callee.block.expect("current context resident");
+                cc.recycle_as_next(block);
+                recycled.block = Some(block);
+            } else {
+                self.clear_context_memory(callee.fpa)?;
+            }
+            self.ncp = Some(recycled);
+        }
+
+        // CP <- RCP: the caller may have been copied back; fault it in.
+        let caller_abs = self.space.translate(self.team, caller_fpa)?.abs;
+        let caller_block = if let Some(cc) = &mut self.cc {
+            match cc.find(caller_abs) {
+                Some(bi) => Some(bi),
+                None => {
+                    // Context cache miss: fault the caller in from memory.
+                    self.stats.ctx_fault_cycles += self.config.ctx_fault_penalty;
+                    let mut words = Vec::with_capacity(CONTEXT_WORDS as usize);
+                    for off in 0..CONTEXT_WORDS {
+                        let w = self
+                            .space
+                            .read_abs(caller_abs.offset(off), AllocKind::Context)?;
+                        let c = self.class_of_word(&w)?;
+                        words.push((w, c));
+                    }
+                    let cc = self.cc.as_mut().expect("checked");
+                    let (bi, ev) = cc.install(caller_abs, words);
+                    self.write_back(ev)?;
+                    Some(bi)
+                }
+            }
+        } else {
+            None
+        };
+        let caller = CtxReg {
+            fpa: caller_fpa,
+            abs: caller_abs,
+            block: caller_block,
+        };
+        self.cp = Some(caller);
+        if let Some(cc) = &mut self.cc {
+            cc.set_current(caller_block);
+        }
+        if callee_escaped || !self.config.eager_lifo_free {
+            // Refresh the next vector (it was untouched but the cc vectors
+            // may have been disturbed by the fault path).
+            if let (Some(cc), Some(ncp)) = (&mut self.cc, old_ncp) {
+                cc.set_next(ncp.block);
+            }
+        }
+        // Whether recycled or kept, the next context's RCP must name the
+        // context control just returned into — it was linked to the (now
+        // defunct) callee when it was allocated.
+        self.ctx_write_raw(true, CTX_RCP, Word::Ptr(caller_fpa), self.context_class)?;
+
+        // IP <- caller's RIP.
+        let (rip, _) = self.ctx_read_raw(false, CTX_RIP)?;
+        let rip = rip.as_ptr().ok_or(MachineError::NoContext)?;
+        let method = rip.base();
+        let pc = rip.offset() - CodeObject::HEADER_WORDS;
+        let (f, a, dec) = self.load_method(method)?;
+        self.ip = Some((f, a, dec));
+        self.pc = pc;
+        self.last_dest = None;
+        Ok(())
+    }
+
+    /// XFER (§5): general control transfer to the next context. The current
+    /// continuation is saved; the next context becomes current and its RIP
+    /// is resumed; a fresh next context is allocated.
+    fn do_xfer(&mut self, _instr: Instr) -> Result<(), MachineError> {
+        self.stats.calls += 1;
+        self.stats.call_linkage_cycles += 2;
+        let (method_fpa, _, _) = self.ip.as_ref().ok_or(MachineError::NoContext)?;
+        let rip = method_fpa.with_offset(CodeObject::HEADER_WORDS + self.pc + 1)?;
+        self.ctx_write_raw(false, CTX_RIP, Word::Ptr(rip), ClassId::INSTR)?;
+        let new_cp = self.ctx_reg(true)?;
+        self.cp = Some(new_cp);
+        if let Some(cc) = &mut self.cc {
+            cc.set_current(new_cp.block);
+            cc.set_next(None);
+        }
+        let mut next = self.alloc_context()?;
+        if let Some(cc) = &mut self.cc {
+            next.block = cc.next();
+        }
+        self.ncp = Some(next);
+        self.ctx_write_raw(true, CTX_RCP, Word::Ptr(new_cp.fpa), self.context_class)?;
+        let (tip, _) = self.ctx_read_raw(false, CTX_RIP)?;
+        let tip = tip.as_ptr().ok_or(MachineError::NoContext)?;
+        let method = tip.base();
+        let pc = tip.offset() - CodeObject::HEADER_WORDS;
+        let (f, a, dec) = self.load_method(method)?;
+        self.ip = Some((f, a, dec));
+        self.pc = pc;
+        self.last_dest = None;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Garbage collection
+    // ------------------------------------------------------------------
+
+    /// Runs a stop-the-world collection: flush the context cache, mark from
+    /// the machine roots, sweep, then drop stale cache and bookkeeping
+    /// entries.
+    ///
+    /// # Errors
+    ///
+    /// Propagates memory errors (a failing GC is a machine-fatal event).
+    pub fn collect_garbage(&mut self) -> Result<(), MachineError> {
+        // Memory must be coherent before the collector scans contexts.
+        if let Some(cc) = &mut self.cc {
+            for ev in cc.dirty_blocks() {
+                for (i, (w, _)) in ev.words.iter().enumerate() {
+                    self.space
+                        .write_abs(ev.abs.offset(i as u64), *w, AllocKind::Context)?;
+                }
+            }
+        }
+        let mut roots: Vec<Fpa> = Vec::new();
+        if let Some(cp) = self.cp {
+            roots.push(cp.fpa);
+        }
+        if let Some(ncp) = self.ncp {
+            roots.push(ncp.fpa);
+        }
+        roots.extend(self.free_list.iter().map(|r| r.fpa));
+        roots.extend(self.code_roots.iter().copied());
+        if let Some(cell) = self.result_cell {
+            roots.push(cell);
+        }
+        let st = gc::collect_simple(&mut self.space, self.team, &roots)?;
+        self.stats.gc_runs += 1;
+        self.stats.gc_cycles += st.cost_cycles();
+        // Drop context-cache blocks whose contexts were swept.
+        if let Some(cc) = &mut self.cc {
+            for abs in cc.resident() {
+                if self.space.memory().block_words(abs).is_none() {
+                    cc.release(abs);
+                }
+            }
+        }
+        // Swept names may be recycled; stale escape marks must not leak
+        // onto fresh contexts.
+        let team = self.team;
+        let table_has = |space: &ObjectSpace, seg: &SegmentName| {
+            space
+                .mmu()
+                .team(team)
+                .map(|t| t.table.get(*seg).is_some())
+                .unwrap_or(false)
+        };
+        let space_ref = &self.space;
+        self.escaped.retain(|seg| table_has(space_ref, seg));
+        // Decoded-method cache: code objects are roots, so still live.
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Entry
+    // ------------------------------------------------------------------
+
+    /// Sends `selector` to `receiver` with `args` and runs to completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError::StepLimit`] if the program does not halt in
+    /// `max_steps` instructions, [`MachineError::DoesNotUnderstand`] for an
+    /// unknown selector, or any trap the program raises.
+    pub fn send(
+        &mut self,
+        selector: &str,
+        receiver: Word,
+        args: &[Word],
+        max_steps: u64,
+    ) -> Result<RunResult, MachineError> {
+        let opcode = self
+            .opcodes
+            .get(selector)
+            .unwrap_or_else(|| panic!("selector {selector:?} was never interned"));
+        self.start_send(opcode, receiver, args)?;
+        self.run(max_steps)
+    }
+
+    /// Prepares the bootstrap contexts and entry code for a send, without
+    /// running. Useful for single-stepping tests.
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation errors.
+    pub fn start_send(
+        &mut self,
+        selector: Opcode,
+        receiver: Word,
+        args: &[Word],
+    ) -> Result<(), MachineError> {
+        self.halted = None;
+        // A one-word cell receives the program result.
+        let cell = self
+            .space
+            .create(self.team, ClassTable::OBJECT, 1, AllocKind::Object)?;
+        self.result_cell = Some(cell);
+
+        // Synthesise the entry method:
+        //   0: <selector>/n         (the send)
+        //   1: move/0 (ret)         (return-from-entry: halts the machine)
+        let nargs = (1 + args.len()).min(2) as u8;
+        let entry = CodeObject {
+            name: format!("entry>>{selector}"),
+            n_args: 1 + args.len() as u8,
+            instrs: vec![
+                Instr::zero(selector, nargs, false)?,
+                Instr::zero(Opcode::MOVE, 0, true)?,
+            ],
+            consts: vec![],
+        };
+        let entry_base = entry.store(&mut self.space, self.team)?;
+        self.code_roots.push(entry_base);
+
+        // Bootstrap contexts: main (current) and the callee's (next).
+        let mut main = self.alloc_context()?;
+        if let Some(cc) = &mut self.cc {
+            main.block = cc.next();
+            cc.set_current(main.block);
+            cc.set_next(None);
+        }
+        self.cp = Some(main);
+        let mut next = self.alloc_context()?;
+        if let Some(cc) = &mut self.cc {
+            next.block = cc.next();
+        }
+        self.ncp = Some(next);
+        // main's RCP stays Uninit: returning into it halts the machine.
+        self.ctx_write_raw(true, CTX_RCP, Word::Ptr(main.fpa), self.context_class)?;
+        self.ctx_write_raw(true, CTX_ARG0, Word::Ptr(cell), ClassTable::OBJECT)?;
+        let rclass = self.class_of_word(&receiver)?;
+        self.ctx_write_raw(true, CTX_ARG1, receiver, rclass)?;
+        for (i, a) in args.iter().enumerate() {
+            let c = self.class_of_word(a)?;
+            self.ctx_write_raw(true, CTX_ARG1 + 1 + i as u64, *a, c)?;
+        }
+
+        let (f, a, dec) = self.load_method(entry_base)?;
+        self.ip = Some((f, a, dec));
+        self.pc = 0;
+        self.last_dest = None;
+        Ok(())
+    }
+
+    /// Runs until the entry send returns or `max_steps` is exhausted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError::StepLimit`] on exhaustion or any trap.
+    pub fn run(&mut self, max_steps: u64) -> Result<RunResult, MachineError> {
+        for _ in 0..max_steps {
+            match self.step() {
+                Ok(()) => {}
+                Err(MachineError::Halted(result)) => {
+                    return Ok(RunResult {
+                        result,
+                        stats: self.stats,
+                        steps: self.steps,
+                    })
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(MachineError::StepLimit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use com_isa::Assembler;
+
+    fn image_with(
+        class: ClassId,
+        selector: &str,
+        build: impl FnOnce(&mut Assembler),
+    ) -> (ProgramImage, Opcode) {
+        let mut img = ProgramImage::empty();
+        let sel = img.opcodes.intern(selector);
+        let mut asm = Assembler::new(format!("test>>{selector}"), 2);
+        build(&mut asm);
+        img.add_method(class, sel, asm.finish().unwrap());
+        (img, sel)
+    }
+
+    fn run(img: &ProgramImage, selector: &str, recv: Word, args: &[Word]) -> RunResult {
+        let mut m = Machine::new(MachineConfig::default());
+        m.load(img).unwrap();
+        m.send(selector, recv, args, 100_000).unwrap()
+    }
+
+    #[test]
+    fn primitive_add_via_defined_wrapper() {
+        // SmallInteger>>plus: other — c3 <- self + other; return c3.
+        let (img, _) = image_with(ClassId::SMALL_INT, "plus:", |asm| {
+            asm.emit_three(Opcode::ADD, Operand::Cur(3), Operand::Cur(1), Operand::Cur(2))
+                .unwrap();
+            asm.emit_three_ret(Opcode::MOVE, Operand::Cur(0), Operand::Cur(3), Operand::Cur(3))
+                .unwrap();
+        });
+        let out = run(&img, "plus:", Word::Int(20), &[Word::Int(22)]);
+        assert_eq!(out.result, Word::Int(42));
+        assert!(out.stats.calls >= 1);
+        assert!(out.stats.returns >= 1);
+    }
+
+    #[test]
+    fn constants_and_jumps() {
+        // abs: return self < 0 ? self negated : self
+        let (img, _) = image_with(ClassId::SMALL_INT, "abs", |asm| {
+            let k0 = asm.intern_const(Word::Int(0));
+            // c3 <- self < 0
+            asm.emit_three(Opcode::LT, Operand::Cur(3), Operand::Cur(1), Operand::Const(k0))
+                .unwrap();
+            let neg = asm.label();
+            asm.jump_if(Operand::Cur(3), neg);
+            // return self
+            asm.emit_three_ret(Opcode::MOVE, Operand::Cur(0), Operand::Cur(1), Operand::Cur(1))
+                .unwrap();
+            asm.bind(neg);
+            // c4 <- self negated ; return c4
+            asm.emit_three(Opcode::NEG, Operand::Cur(4), Operand::Cur(1), Operand::Cur(1))
+                .unwrap();
+            asm.emit_three_ret(Opcode::MOVE, Operand::Cur(0), Operand::Cur(4), Operand::Cur(4))
+                .unwrap();
+        });
+        assert_eq!(run(&img, "abs", Word::Int(-5), &[]).result, Word::Int(5));
+        assert_eq!(run(&img, "abs", Word::Int(7), &[]).result, Word::Int(7));
+    }
+
+    #[test]
+    fn recursion_and_deep_calls() {
+        // SmallInteger>>sumto — recursive sum 1..self.
+        let mut img = ProgramImage::empty();
+        let sel = img.opcodes.intern("sumto");
+        let mut asm = Assembler::new("SmallInteger>>sumto", 1);
+        let k0 = asm.intern_const(Word::Int(0));
+        let k1 = asm.intern_const(Word::Int(1));
+        // c3 <- self <= 0
+        asm.emit_three(Opcode::LE, Operand::Cur(3), Operand::Cur(1), Operand::Const(k0))
+            .unwrap();
+        let base = asm.label();
+        asm.jump_if(Operand::Cur(3), base);
+        // c4 <- self - 1 ; c5 <- c4 sumto ; c6 <- self + c5 ; return c6
+        asm.emit_three(Opcode::SUB, Operand::Cur(4), Operand::Cur(1), Operand::Const(k1))
+            .unwrap();
+        asm.emit_three(Opcode(sel.0), Operand::Cur(5), Operand::Cur(4), Operand::Cur(4))
+            .unwrap();
+        asm.emit_three(Opcode::ADD, Operand::Cur(6), Operand::Cur(1), Operand::Cur(5))
+            .unwrap();
+        asm.emit_three_ret(Opcode::MOVE, Operand::Cur(0), Operand::Cur(6), Operand::Cur(6))
+            .unwrap();
+        asm.bind(base);
+        // B must be context mode; MOVE takes its value from C (= 0).
+        asm.emit_three_ret(Opcode::MOVE, Operand::Cur(0), Operand::Cur(1), Operand::Const(k0))
+            .unwrap();
+        img.add_method(ClassId::SMALL_INT, sel, asm.finish().unwrap());
+
+        let out = run(&img, "sumto", Word::Int(100), &[]);
+        assert_eq!(out.result, Word::Int(5050));
+        // 100 recursive calls plus the entry send.
+        assert!(out.stats.calls >= 101);
+        // Every call returns, plus the entry method's own halt-return.
+        assert_eq!(out.stats.returns, out.stats.calls + 1);
+        // LIFO discipline: every level freed eagerly.
+        assert!(out.stats.contexts_freed_lifo >= 100);
+    }
+
+    #[test]
+    fn call_cost_matches_paper() {
+        // A method that immediately returns; called once via 3-operand form.
+        let (img, _) = image_with(ClassId::SMALL_INT, "nop:", |asm| {
+            asm.emit_three_ret(Opcode::MOVE, Operand::Cur(0), Operand::Cur(1), Operand::Cur(1))
+                .unwrap();
+        });
+        let mut m = Machine::new(MachineConfig::default());
+        m.load(&img).unwrap();
+        let out = m.send("nop:", Word::Int(1), &[Word::Int(2)], 1000).unwrap();
+        // Entry send is zero-operand: call linkage 2 cycles, no copies.
+        // §3.6: zero-operand call delays execution 4 cycles total (2 base +
+        // 1 flush + 1 linkage).
+        let s = out.stats;
+        assert_eq!(s.calls, 1);
+        assert_eq!(s.call_linkage_cycles, 2);
+        assert_eq!(s.operand_copy_cycles, 0);
+    }
+
+    #[test]
+    fn does_not_understand_traps() {
+        let img = ProgramImage::empty();
+        let mut m = Machine::new(MachineConfig::default());
+        m.load(&img).unwrap();
+        let sel = m.intern_selector("frobnicate");
+        m.start_send(sel, Word::Int(1), &[]).unwrap();
+        match m.run(100) {
+            Err(MachineError::DoesNotUnderstand { class, .. }) => {
+                assert_eq!(class, ClassId::SMALL_INT);
+            }
+            other => panic!("expected DNU, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn works_without_itlb_and_without_context_cache() {
+        let (img, _) = image_with(ClassId::SMALL_INT, "plus:", |asm| {
+            asm.emit_three(Opcode::ADD, Operand::Cur(3), Operand::Cur(1), Operand::Cur(2))
+                .unwrap();
+            asm.emit_three_ret(Opcode::MOVE, Operand::Cur(0), Operand::Cur(3), Operand::Cur(3))
+                .unwrap();
+        });
+        for cfg in [
+            MachineConfig::default().without_itlb(),
+            MachineConfig::default().without_context_cache(),
+            MachineConfig::default().without_itlb().without_context_cache(),
+        ] {
+            let mut m = Machine::new(cfg);
+            m.load(&img).unwrap();
+            let out = m.send("plus:", Word::Int(1), &[Word::Int(2)], 10_000).unwrap();
+            assert_eq!(out.result, Word::Int(3));
+        }
+    }
+
+    #[test]
+    fn itlb_eliminates_repeat_lookups() {
+        let (img, _) = image_with(ClassId::SMALL_INT, "plus:", |asm| {
+            asm.emit_three(Opcode::ADD, Operand::Cur(3), Operand::Cur(1), Operand::Cur(2))
+                .unwrap();
+            asm.emit_three_ret(Opcode::MOVE, Operand::Cur(0), Operand::Cur(3), Operand::Cur(3))
+                .unwrap();
+        });
+        let mut m = Machine::new(MachineConfig::default());
+        m.load(&img).unwrap();
+        m.send("plus:", Word::Int(1), &[Word::Int(2)], 10_000).unwrap();
+        let first = m.stats().full_lookups;
+        m.send("plus:", Word::Int(3), &[Word::Int(4)], 10_000).unwrap();
+        let second = m.stats().full_lookups - first;
+        assert!(
+            second < first,
+            "warm ITLB must avoid lookups: {second} vs {first}"
+        );
+    }
+}

@@ -1,0 +1,185 @@
+//! Cycle accounting for the five-step pipeline of §3.6.
+//!
+//! "Instruction interpretation proceeds in five steps … This instruction
+//! interpretation sequence can be pipelined … so that a new instruction is
+//! started every two clock cycles. This instruction rate is limited by the
+//! context cache."
+//!
+//! Rather than a structural pipeline simulation, the machine charges each
+//! architectural event exactly the cost §3.6 assigns it; experiment T1
+//! verifies the charges reproduce the paper's call/return arithmetic and T6
+//! decomposes CPI by stall source.
+
+/// Cycle and event counters for one run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CycleStats {
+    /// Instructions completed.
+    pub instructions: u64,
+    /// Base issue cycles (2 per instruction).
+    pub base_cycles: u64,
+    /// One-cycle delay per taken branch (delayed branch, §3.6).
+    pub branch_delay_cycles: u64,
+    /// Pipeline flush + linkage cycles for method calls (2 per call: one
+    /// flush, one linkage — the call instruction's own 2 cycles are in
+    /// `base_cycles`).
+    pub call_linkage_cycles: u64,
+    /// One cycle per operand copied into a new context at call.
+    pub operand_copy_cycles: u64,
+    /// Cycles spent in full method lookup on ITLB misses.
+    pub lookup_cycles: u64,
+    /// Cycles lost to instruction cache misses.
+    pub icache_miss_cycles: u64,
+    /// Cycles lost faulting context blocks into the context cache.
+    pub ctx_fault_cycles: u64,
+    /// Cycles lost to `at:`/`at:put:`/`new`/`grow` memory operations.
+    pub memory_op_cycles: u64,
+    /// One-cycle interlocks for read-after-write hazards.
+    pub interlock_cycles: u64,
+    /// Cycles spent in garbage collection.
+    pub gc_cycles: u64,
+    /// Method calls performed.
+    pub calls: u64,
+    /// Method returns performed.
+    pub returns: u64,
+    /// Taken branches.
+    pub taken_branches: u64,
+    /// Full method lookups performed (ITLB misses or ITLB disabled).
+    pub full_lookups: u64,
+    /// Contexts allocated (call linkage).
+    pub contexts_allocated: u64,
+    /// Contexts freed eagerly as LIFO at return.
+    pub contexts_freed_lifo: u64,
+    /// Contexts left to the garbage collector (escaped / non-LIFO).
+    pub contexts_left_to_gc: u64,
+    /// Garbage collections run.
+    pub gc_runs: u64,
+}
+
+impl CycleStats {
+    /// Total cycles across all categories.
+    pub fn total_cycles(&self) -> u64 {
+        self.base_cycles
+            + self.branch_delay_cycles
+            + self.call_linkage_cycles
+            + self.operand_copy_cycles
+            + self.lookup_cycles
+            + self.icache_miss_cycles
+            + self.ctx_fault_cycles
+            + self.memory_op_cycles
+            + self.interlock_cycles
+            + self.gc_cycles
+    }
+
+    /// Cycles per instruction; `None` before any instruction completes.
+    pub fn cpi(&self) -> Option<f64> {
+        if self.instructions == 0 {
+            None
+        } else {
+            Some(self.total_cycles() as f64 / self.instructions as f64)
+        }
+    }
+
+    /// Component-wise difference since an earlier snapshot.
+    pub fn since(&self, s: &CycleStats) -> CycleStats {
+        CycleStats {
+            instructions: self.instructions - s.instructions,
+            base_cycles: self.base_cycles - s.base_cycles,
+            branch_delay_cycles: self.branch_delay_cycles - s.branch_delay_cycles,
+            call_linkage_cycles: self.call_linkage_cycles - s.call_linkage_cycles,
+            operand_copy_cycles: self.operand_copy_cycles - s.operand_copy_cycles,
+            lookup_cycles: self.lookup_cycles - s.lookup_cycles,
+            icache_miss_cycles: self.icache_miss_cycles - s.icache_miss_cycles,
+            ctx_fault_cycles: self.ctx_fault_cycles - s.ctx_fault_cycles,
+            memory_op_cycles: self.memory_op_cycles - s.memory_op_cycles,
+            interlock_cycles: self.interlock_cycles - s.interlock_cycles,
+            gc_cycles: self.gc_cycles - s.gc_cycles,
+            calls: self.calls - s.calls,
+            returns: self.returns - s.returns,
+            taken_branches: self.taken_branches - s.taken_branches,
+            full_lookups: self.full_lookups - s.full_lookups,
+            contexts_allocated: self.contexts_allocated - s.contexts_allocated,
+            contexts_freed_lifo: self.contexts_freed_lifo - s.contexts_freed_lifo,
+            contexts_left_to_gc: self.contexts_left_to_gc - s.contexts_left_to_gc,
+            gc_runs: self.gc_runs - s.gc_runs,
+        }
+    }
+
+    /// `(label, cycles)` rows for stall-source reports (T6).
+    pub fn breakdown(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("base (2/instr)", self.base_cycles),
+            ("branch delay", self.branch_delay_cycles),
+            ("call linkage", self.call_linkage_cycles),
+            ("operand copy", self.operand_copy_cycles),
+            ("method lookup", self.lookup_cycles),
+            ("icache miss", self.icache_miss_cycles),
+            ("context fault", self.ctx_fault_cycles),
+            ("memory ops", self.memory_op_cycles),
+            ("interlocks", self.interlock_cycles),
+            ("gc", self.gc_cycles),
+        ]
+    }
+}
+
+impl core::fmt::Display for CycleStats {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "{} instrs, {} cycles (CPI {:.2})",
+            self.instructions,
+            self.total_cycles(),
+            self.cpi().unwrap_or(f64::NAN)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_cpi() {
+        let s = CycleStats {
+            instructions: 10,
+            base_cycles: 20,
+            branch_delay_cycles: 3,
+            ..CycleStats::default()
+        };
+        assert_eq!(s.total_cycles(), 23);
+        assert!((s.cpi().unwrap() - 2.3).abs() < 1e-12);
+        assert_eq!(CycleStats::default().cpi(), None);
+    }
+
+    #[test]
+    fn since_subtracts() {
+        let a = CycleStats {
+            instructions: 5,
+            base_cycles: 10,
+            ..CycleStats::default()
+        };
+        let b = CycleStats {
+            instructions: 9,
+            base_cycles: 18,
+            calls: 2,
+            ..CycleStats::default()
+        };
+        let d = b.since(&a);
+        assert_eq!(d.instructions, 4);
+        assert_eq!(d.base_cycles, 8);
+        assert_eq!(d.calls, 2);
+    }
+
+    #[test]
+    fn breakdown_sums_to_total() {
+        let s = CycleStats {
+            instructions: 1,
+            base_cycles: 2,
+            lookup_cycles: 40,
+            memory_op_cycles: 4,
+            gc_cycles: 100,
+            ..CycleStats::default()
+        };
+        let sum: u64 = s.breakdown().iter().map(|(_, c)| c).sum();
+        assert_eq!(sum, s.total_cycles());
+    }
+}

@@ -1,0 +1,124 @@
+//! Error type for address construction and manipulation.
+
+/// Errors arising from floating point (and fixed) address manipulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FpaError {
+    /// The requested format is degenerate (zero-width field) or too wide.
+    BadFormat {
+        /// Requested mantissa width.
+        mantissa_bits: u32,
+        /// Requested exponent width.
+        exponent_bits: u32,
+    },
+    /// A raw value does not fit in the format's total width.
+    RawOutOfRange {
+        /// The offending raw value.
+        raw: u64,
+        /// Largest representable raw value.
+        max: u64,
+    },
+    /// The exponent does not fit the exponent field.
+    ExponentOutOfRange {
+        /// The offending exponent.
+        exponent: u8,
+        /// Largest representable exponent.
+        max: u8,
+    },
+    /// The mantissa does not fit the mantissa field.
+    MantissaOverflow {
+        /// The offending mantissa.
+        mantissa: u64,
+        /// Largest representable mantissa.
+        max: u64,
+    },
+    /// An offset exceeds the capacity (`2^exponent`) of its segment.
+    ///
+    /// At translation time this condition raises the aliasing trap described
+    /// in §2.2: the stale pointer's segment descriptor forwards to the grown
+    /// object's new segment.
+    OffsetOutOfBounds {
+        /// The offending offset.
+        offset: u64,
+        /// Words addressable under the segment's exponent.
+        capacity: u64,
+    },
+    /// A segment index exceeds the count available in its exponent class.
+    SegmentIndexOutOfRange {
+        /// The offending index.
+        index: u64,
+        /// Number of segments in the class.
+        available: u64,
+    },
+    /// No exponent class can hold an object of this size.
+    ObjectTooLarge {
+        /// Requested size in words.
+        words: u64,
+        /// Largest supported segment size in words.
+        max: u64,
+    },
+    /// All segment names in the requested exponent class are in use.
+    ClassExhausted {
+        /// The exhausted exponent class.
+        exponent: u8,
+    },
+}
+
+impl core::fmt::Display for FpaError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match *self {
+            FpaError::BadFormat {
+                mantissa_bits,
+                exponent_bits,
+            } => write!(
+                f,
+                "degenerate address format (mantissa {mantissa_bits} bits, exponent {exponent_bits} bits)"
+            ),
+            FpaError::RawOutOfRange { raw, max } => {
+                write!(f, "raw address {raw:#x} exceeds format maximum {max:#x}")
+            }
+            FpaError::ExponentOutOfRange { exponent, max } => {
+                write!(f, "exponent {exponent} exceeds format maximum {max}")
+            }
+            FpaError::MantissaOverflow { mantissa, max } => {
+                write!(f, "mantissa {mantissa:#x} exceeds format maximum {max:#x}")
+            }
+            FpaError::OffsetOutOfBounds { offset, capacity } => {
+                write!(f, "offset {offset} out of bounds for segment capacity {capacity}")
+            }
+            FpaError::SegmentIndexOutOfRange { index, available } => {
+                write!(f, "segment index {index} exceeds class population {available}")
+            }
+            FpaError::ObjectTooLarge { words, max } => {
+                write!(f, "object of {words} words exceeds largest segment ({max} words)")
+            }
+            FpaError::ClassExhausted { exponent } => {
+                write!(f, "no free segment names remain in exponent class {exponent}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FpaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_lowercase_and_informative() {
+        let e = FpaError::OffsetOutOfBounds {
+            offset: 300,
+            capacity: 256,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("300"));
+        assert!(msg.contains("256"));
+        assert!(msg.chars().next().unwrap().is_lowercase());
+    }
+
+    #[test]
+    fn error_trait_object_compatible() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<FpaError>();
+    }
+}

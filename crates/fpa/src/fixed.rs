@@ -1,0 +1,206 @@
+//! Conventional fixed-split segmented addressing (the baseline of §2.2).
+//!
+//! "Conventional segmentation schemes divide the memory address into two
+//! fixed length fields, one of which is the segment descriptor number and
+//! the other the segment offset." The MULTICS format — 18 segment bits and
+//! 18 offset bits — is the paper's running example of both limits being too
+//! restrictive.
+
+use crate::FpaError;
+
+/// A fixed segment/offset split of an address word.
+///
+/// ```
+/// use com_fpa::FixedFormat;
+/// let multics = FixedFormat::MULTICS;
+/// assert_eq!(multics.max_segments(), 1 << 18);
+/// assert_eq!(multics.max_segment_words(), 1 << 18);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FixedFormat {
+    segment_bits: u32,
+    offset_bits: u32,
+}
+
+impl FixedFormat {
+    /// The MULTICS virtual address: 18-bit segment number, 18-bit offset.
+    pub const MULTICS: FixedFormat = FixedFormat {
+        segment_bits: 18,
+        offset_bits: 18,
+    };
+
+    /// Creates a fixed split.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FpaError::BadFormat`] when a field is zero or the total
+    /// exceeds 63 bits.
+    pub fn new(segment_bits: u32, offset_bits: u32) -> Result<Self, FpaError> {
+        if segment_bits == 0 || offset_bits == 0 || segment_bits + offset_bits > 63 {
+            return Err(FpaError::BadFormat {
+                mantissa_bits: offset_bits,
+                exponent_bits: segment_bits,
+            });
+        }
+        Ok(FixedFormat {
+            segment_bits,
+            offset_bits,
+        })
+    }
+
+    /// Width of the segment-number field.
+    pub fn segment_bits(self) -> u32 {
+        self.segment_bits
+    }
+
+    /// Width of the offset field.
+    pub fn offset_bits(self) -> u32 {
+        self.offset_bits
+    }
+
+    /// Total address width.
+    pub fn total_bits(self) -> u32 {
+        self.segment_bits + self.offset_bits
+    }
+
+    /// Number of distinct segments.
+    pub fn max_segments(self) -> u64 {
+        1u64 << self.segment_bits
+    }
+
+    /// Maximum words per segment.
+    pub fn max_segment_words(self) -> u64 {
+        1u64 << self.offset_bits
+    }
+}
+
+impl core::fmt::Display for FixedFormat {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "fixed{}(s{}/o{})", self.total_bits(), self.segment_bits, self.offset_bits)
+    }
+}
+
+/// The name of a segment under a fixed split: just its number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FixedSegmentName(pub u64);
+
+impl core::fmt::Display for FixedSegmentName {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "seg#{:#x}", self.0)
+    }
+}
+
+/// An address under a fixed segment/offset split.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FixedAddr {
+    raw: u64,
+    format: FixedFormat,
+}
+
+impl FixedAddr {
+    /// Builds an address from a raw bit pattern.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FpaError::RawOutOfRange`] if `raw` exceeds the width.
+    pub fn from_raw(raw: u64, format: FixedFormat) -> Result<Self, FpaError> {
+        let max = (1u64 << format.total_bits()) - 1;
+        if raw > max {
+            return Err(FpaError::RawOutOfRange { raw, max });
+        }
+        Ok(FixedAddr { raw, format })
+    }
+
+    /// Builds the address of `offset` within `segment`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FpaError::SegmentIndexOutOfRange`] or
+    /// [`FpaError::OffsetOutOfBounds`] on field overflow.
+    pub fn from_segment(
+        segment: FixedSegmentName,
+        offset: u64,
+        format: FixedFormat,
+    ) -> Result<Self, FpaError> {
+        if segment.0 >= format.max_segments() {
+            return Err(FpaError::SegmentIndexOutOfRange {
+                index: segment.0,
+                available: format.max_segments(),
+            });
+        }
+        if offset >= format.max_segment_words() {
+            return Err(FpaError::OffsetOutOfBounds {
+                offset,
+                capacity: format.max_segment_words(),
+            });
+        }
+        Ok(FixedAddr {
+            raw: (segment.0 << format.offset_bits) | offset,
+            format,
+        })
+    }
+
+    /// The raw bit pattern.
+    pub fn raw(self) -> u64 {
+        self.raw
+    }
+
+    /// The segment number.
+    pub fn segment(self) -> FixedSegmentName {
+        FixedSegmentName(self.raw >> self.format.offset_bits)
+    }
+
+    /// The offset within the segment.
+    pub fn offset(self) -> u64 {
+        self.raw & (self.format.max_segment_words() - 1)
+    }
+
+    /// The format this address is encoded in.
+    pub fn format(self) -> FixedFormat {
+        self.format
+    }
+}
+
+impl core::fmt::Display for FixedAddr {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}+{:#x}", self.segment(), self.offset())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multics_limits_match_paper() {
+        let f = FixedFormat::MULTICS;
+        assert_eq!(f.total_bits(), 36);
+        // "256K segments each of which may have a maximum size of 256K words"
+        assert_eq!(f.max_segments(), 262_144);
+        assert_eq!(f.max_segment_words(), 262_144);
+    }
+
+    #[test]
+    fn split_roundtrips() {
+        let f = FixedFormat::MULTICS;
+        let a = FixedAddr::from_segment(FixedSegmentName(0x1234), 0x567, f).unwrap();
+        assert_eq!(a.segment().0, 0x1234);
+        assert_eq!(a.offset(), 0x567);
+        let b = FixedAddr::from_raw(a.raw(), f).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn field_overflow_is_rejected() {
+        let f = FixedFormat::MULTICS;
+        assert!(FixedAddr::from_segment(FixedSegmentName(1 << 18), 0, f).is_err());
+        assert!(FixedAddr::from_segment(FixedSegmentName(0), 1 << 18, f).is_err());
+    }
+
+    #[test]
+    fn degenerate_formats_rejected() {
+        assert!(FixedFormat::new(0, 18).is_err());
+        assert!(FixedFormat::new(18, 0).is_err());
+        assert!(FixedFormat::new(40, 40).is_err());
+    }
+}

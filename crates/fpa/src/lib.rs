@@ -1,0 +1,51 @@
+//! Floating point virtual addresses for the Caltech Object Machine.
+//!
+//! This crate implements §2.2 of Dally & Kajiya, *An Object Oriented
+//! Architecture* (ISCA 1985): a virtual address is an *(exponent, mantissa)*
+//! pair. The exponent encodes the width of the offset field, shifting the
+//! binary point of the mantissa. The fractional part (low `exponent` bits)
+//! is the offset within a segment; the integer part combined with the
+//! exponent names the segment. One address format therefore names billions
+//! of one-word segments *and* billion-word segments, solving the **small
+//! object problem** that fixed segment/offset splits cannot.
+//!
+//! The paper's worked example: the 16-bit address `0x8345` has exponent `8`,
+//! so its offset is the byte `0x45` and its segment number is `0x83`.
+//!
+//! ```
+//! use com_fpa::{FpaFormat, Fpa};
+//!
+//! # fn main() -> Result<(), com_fpa::FpaError> {
+//! let fmt = FpaFormat::DEMO16;
+//! let addr = Fpa::from_raw(0x8345, fmt)?;
+//! assert_eq!(addr.exponent(), 8);
+//! assert_eq!(addr.offset(), 0x45);
+//! assert_eq!(addr.segment().display_number(fmt), 0x83);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! The crate also provides:
+//!
+//! * [`NameAllocator`] — per-team allocation of fresh segment names, with
+//!   free lists per exponent class (used when objects are created or grown).
+//! * [`FixedFormat`]/[`FixedAddr`] — a conventional fixed-split scheme
+//!   (MULTICS-style 18/18 by default) used as the baseline in experiment T4.
+//! * [`AddressScheme`] — the common trait the T4 harness sweeps over.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod addr;
+mod alloc;
+mod error;
+mod fixed;
+mod format;
+mod scheme;
+
+pub use addr::{Fpa, SegmentName};
+pub use alloc::NameAllocator;
+pub use error::FpaError;
+pub use fixed::{FixedAddr, FixedFormat, FixedSegmentName};
+pub use format::FpaFormat;
+pub use scheme::{AddressScheme, FixedScheme, FpaScheme, NamingOutcome};

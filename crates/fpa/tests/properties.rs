@@ -1,0 +1,107 @@
+//! Property-based tests for floating point address invariants.
+
+use com_fpa::{Fpa, FpaFormat, NameAllocator, SegmentName};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+fn arb_format() -> impl Strategy<Value = FpaFormat> {
+    (4u32..=40).prop_map(|m| FpaFormat::new(m).expect("valid format"))
+}
+
+proptest! {
+    /// Decomposing a raw address into (segment, offset) and re-encoding it
+    /// reproduces the raw bits exactly.
+    #[test]
+    fn raw_roundtrip(fmt in arb_format(), raw in any::<u64>()) {
+        let raw = raw & fmt.max_raw();
+        let a = Fpa::from_raw(raw, fmt).unwrap();
+        let back = Fpa::from_segment(a.segment(), a.offset(), fmt).unwrap();
+        prop_assert_eq!(back.raw(), raw);
+    }
+
+    /// (exponent, mantissa) round-trips through raw encoding.
+    #[test]
+    fn parts_roundtrip(fmt in arb_format(), e in any::<u8>(), m in any::<u64>()) {
+        let e = e % (fmt.max_exponent() + 1);
+        let m = m & fmt.mantissa_mask();
+        let a = Fpa::from_parts(e, m, fmt).unwrap();
+        prop_assert_eq!(a.exponent(), e);
+        prop_assert_eq!(a.mantissa(), m);
+    }
+
+    /// The offset is always strictly below the segment capacity, and the
+    /// mantissa always equals index * capacity + offset (the "shifted binary
+    /// point" identity from §2.2).
+    #[test]
+    fn shifted_binary_point_identity(fmt in arb_format(), raw in any::<u64>()) {
+        let raw = raw & fmt.max_raw();
+        let a = Fpa::from_raw(raw, fmt).unwrap();
+        prop_assert!(a.offset() < a.capacity() || a.capacity() == u64::MAX);
+        if (a.exponent() as u32) < 63 {
+            let reconstructed = a
+                .segment()
+                .index()
+                .checked_mul(a.capacity())
+                .and_then(|x| x.checked_add(a.offset()));
+            prop_assert_eq!(reconstructed, Some(a.mantissa()));
+        }
+    }
+
+    /// `with_offset` never changes the segment and faithfully stores the
+    /// requested offset; out-of-capacity offsets always error.
+    #[test]
+    fn with_offset_laws(fmt in arb_format(), raw in any::<u64>(), off in any::<u64>()) {
+        let raw = raw & fmt.max_raw();
+        let a = Fpa::from_raw(raw, fmt).unwrap();
+        if off < a.capacity() {
+            let b = a.with_offset(off).unwrap();
+            prop_assert_eq!(b.segment(), a.segment());
+            prop_assert_eq!(b.offset(), off);
+        } else {
+            prop_assert!(a.with_offset(off).is_err());
+        }
+    }
+
+    /// Distinct live allocations never share a segment name (capability
+    /// uniqueness), and recycling reuses names without creating duplicates
+    /// among live ones.
+    #[test]
+    fn allocator_uniqueness(sizes in prop::collection::vec(1u64..5000, 1..120)) {
+        let fmt = FpaFormat::COM;
+        let mut alloc = NameAllocator::new(fmt);
+        let mut live: HashSet<SegmentName> = HashSet::new();
+        for (i, words) in sizes.iter().enumerate() {
+            let a = alloc.alloc_for_size(*words).unwrap();
+            prop_assert!(live.insert(a.segment()), "duplicate live name");
+            // Free every third allocation to exercise recycling.
+            if i % 3 == 0 {
+                live.remove(&a.segment());
+                alloc.free(a.segment());
+            }
+        }
+    }
+
+    /// Segment capacity is always sufficient for the requested object size
+    /// and never more than twice the rounded size (tight exponent choice).
+    #[test]
+    fn tight_exponent(words in 1u64..=(1 << 31)) {
+        let fmt = FpaFormat::COM;
+        let e = fmt.exponent_for(words).unwrap();
+        let cap = 1u64 << e;
+        prop_assert!(cap >= words);
+        prop_assert!(cap < words.saturating_mul(2) || cap == 1);
+    }
+
+    /// The paper's display number is exactly the raw address with the offset
+    /// field stripped (`raw >> exponent`), as in the `0x8345 → 0x83` example.
+    /// (It is *not* injective across exponent classes; the true key is the
+    /// `(exponent, index)` pair.)
+    #[test]
+    fn display_number_is_raw_shifted(raw in any::<u64>()) {
+        let fmt = FpaFormat::DEMO16;
+        let raw = raw & fmt.max_raw();
+        let a = Fpa::from_raw(raw, fmt).unwrap();
+        let e = u32::min(a.exponent() as u32, fmt.mantissa_bits());
+        prop_assert_eq!(a.segment().display_number(fmt), raw >> e);
+    }
+}

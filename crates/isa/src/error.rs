@@ -1,0 +1,66 @@
+//! ISA-level errors.
+
+use crate::{Opcode, Operand};
+
+/// Errors from instruction construction, encoding and decoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IsaError {
+    /// An opcode exceeds the 10-bit selector field.
+    OpcodeOutOfRange(Opcode),
+    /// An operand's offset or constant index exceeds its field.
+    OperandOutOfRange(Operand),
+    /// Constant mode used outside the last operand position (§3.4).
+    MisplacedConstant {
+        /// Which operand slot (0 = A) held the constant.
+        position: u8,
+    },
+    /// A zero-address instruction with more than two implicit operands.
+    TooManyImplicitOperands(u8),
+    /// An instruction word whose payload is not a valid encoding.
+    BadEncoding(u64),
+    /// A jump target that the assembler could not resolve.
+    UnresolvedLabel(usize),
+    /// A jump displacement too large for the constant/offset field.
+    JumpTooFar {
+        /// The required displacement in instructions.
+        displacement: i64,
+    },
+}
+
+impl core::fmt::Display for IsaError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            IsaError::OpcodeOutOfRange(op) => {
+                write!(f, "opcode {} exceeds the 10-bit selector field", op.0)
+            }
+            IsaError::OperandOutOfRange(op) => write!(f, "operand {op} field overflow"),
+            IsaError::MisplacedConstant { position } => write!(
+                f,
+                "constant mode in operand {position}; only the last operand may be constant"
+            ),
+            IsaError::TooManyImplicitOperands(n) => {
+                write!(f, "zero-address instruction with {n} implicit operands (max 2)")
+            }
+            IsaError::BadEncoding(w) => write!(f, "invalid instruction encoding {w:#x}"),
+            IsaError::UnresolvedLabel(l) => write!(f, "unresolved label {l}"),
+            IsaError::JumpTooFar { displacement } => {
+                write!(f, "jump displacement {displacement} exceeds field range")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IsaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages() {
+        let e = IsaError::MisplacedConstant { position: 0 };
+        assert!(e.to_string().contains("operand 0"));
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<IsaError>();
+    }
+}

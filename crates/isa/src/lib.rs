@@ -1,0 +1,40 @@
+//! The COM instruction set architecture (§3.3–§3.5 of the paper).
+//!
+//! Instructions are **abstract** (§2.1): an opcode is a message name, and
+//! "the meaning of a particular op code depends upon the type or Class of
+//! the operand objects of the instruction". This crate defines the *syntax*
+//! of that ISA — opcodes, operand descriptors, the two instruction formats,
+//! their 36-bit encodings, and an assembler — while the *semantics* (the
+//! ITLB, method lookup, function units) live in `com-obj` and `com-core`.
+//!
+//! Paper Figure 4 gives the formats:
+//!
+//! ```text
+//! | O<12> | A<8> | B<8> | C<8> |      three-address
+//! | O<31> |                           zero-address
+//! ```
+//!
+//! We encode both in the 36-bit payload of an instruction-tagged word:
+//! bit 35 selects the format, bit 34 is the return bit, bits 33..24 are the
+//! 10-bit selector (together those are the paper's 12-bit `O` field), and
+//! bits 23..0 hold the three operand descriptors. Zero-address instructions
+//! use two of the freed bits for the implicit-operand count ("zero, one or
+//! two locals in the next context are considered as operands depending on
+//! the high order bits of the instruction", §3.5).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod asm;
+mod error;
+mod instr;
+mod opcode;
+mod operand;
+mod prim;
+
+pub use asm::{Assembler, CodeObject, Label};
+pub use error::IsaError;
+pub use instr::Instr;
+pub use opcode::{Opcode, OpcodeTable};
+pub use operand::Operand;
+pub use prim::PrimOp;

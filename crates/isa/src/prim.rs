@@ -1,0 +1,188 @@
+//! Primitive operations: the function-unit repertoire of §3.3.
+
+use crate::Opcode;
+
+/// A primitive machine operation — what the ITLB's method field selects
+/// "if the primitive bit is on" (§2.1).
+///
+/// One `PrimOp` may serve several (opcode, class-signature) pairs: `Add`
+/// backs `+` on `(int, int)`, `(float, float)` and the mixed modes; the
+/// machine's function units dispatch on the actual operand tags at
+/// execution. What makes instructions *safe* is that no signature outside
+/// the installed table ever reaches a function unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PrimOp {
+    /// Arithmetic add (int/int, float/float, mixed).
+    Add,
+    /// Arithmetic subtract.
+    Sub,
+    /// Arithmetic multiply.
+    Mul,
+    /// Arithmetic divide.
+    Div,
+    /// Integer modulo (int only, §3.3).
+    Mod,
+    /// Arithmetic negate.
+    Neg,
+    /// Carry of addition (multiple-precision support).
+    Carry,
+    /// Low word of double-width multiply.
+    Mult1,
+    /// High word of double-width multiply.
+    Mult2,
+    /// Logical shift (negative counts shift right).
+    Shift,
+    /// Arithmetic shift.
+    AShift,
+    /// Rotate within 32 bits.
+    Rotate,
+    /// Extract a bit field: `b mask: c` keeps the low `c` bits.
+    Mask,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise not.
+    Not,
+    /// Bitwise xor.
+    Xor,
+    /// Compare less-than.
+    Lt,
+    /// Compare less-or-equal.
+    Le,
+    /// Compare equal (value).
+    EqVal,
+    /// Compare not-equal (value).
+    NeVal,
+    /// Compare greater-than.
+    Gt,
+    /// Compare greater-or-equal.
+    Ge,
+    /// Same-object identity comparison (all types).
+    Same,
+    /// Move a word (all types).
+    Move,
+    /// Move effective address (pass a pointer).
+    Movea,
+    /// Indexed load from an object.
+    At,
+    /// Indexed store into an object.
+    AtPut,
+    /// Retag a word (privileged).
+    TagAs,
+    /// Read a word's tag as a small integer.
+    TagOf,
+    /// Forward conditional jump.
+    Fjmp,
+    /// Backward conditional jump.
+    Rjmp,
+    /// Transfer control to the next context.
+    Xfer,
+    /// Allocate a fresh object (software allocation bottoms out here).
+    New,
+    /// Grow an object into a wider segment (§2.2 aliasing).
+    Grow,
+}
+
+impl PrimOp {
+    /// The standard opcode ↔ primitive-operation pairing for the machine's
+    /// bootstrap: which `PrimOp` implements each standard selector.
+    pub fn for_opcode(op: Opcode) -> Option<PrimOp> {
+        Some(match op {
+            Opcode::ADD => PrimOp::Add,
+            Opcode::SUB => PrimOp::Sub,
+            Opcode::MUL => PrimOp::Mul,
+            Opcode::DIV => PrimOp::Div,
+            Opcode::MOD => PrimOp::Mod,
+            Opcode::NEG => PrimOp::Neg,
+            Opcode::CARRY => PrimOp::Carry,
+            Opcode::MULT1 => PrimOp::Mult1,
+            Opcode::MULT2 => PrimOp::Mult2,
+            Opcode::SHIFT => PrimOp::Shift,
+            Opcode::ASHIFT => PrimOp::AShift,
+            Opcode::ROTATE => PrimOp::Rotate,
+            Opcode::MASK => PrimOp::Mask,
+            Opcode::AND => PrimOp::And,
+            Opcode::OR => PrimOp::Or,
+            Opcode::NOT => PrimOp::Not,
+            Opcode::XOR => PrimOp::Xor,
+            Opcode::LT => PrimOp::Lt,
+            Opcode::LE => PrimOp::Le,
+            Opcode::EQ => PrimOp::EqVal,
+            Opcode::NE => PrimOp::NeVal,
+            Opcode::GT => PrimOp::Gt,
+            Opcode::GE => PrimOp::Ge,
+            Opcode::SAME => PrimOp::Same,
+            Opcode::MOVE => PrimOp::Move,
+            Opcode::MOVEA => PrimOp::Movea,
+            Opcode::AT => PrimOp::At,
+            Opcode::ATPUT => PrimOp::AtPut,
+            Opcode::AS => PrimOp::TagAs,
+            Opcode::TAG => PrimOp::TagOf,
+            Opcode::FJMP => PrimOp::Fjmp,
+            Opcode::RJMP => PrimOp::Rjmp,
+            Opcode::XFER => PrimOp::Xfer,
+            Opcode::NEW => PrimOp::New,
+            Opcode::GROW => PrimOp::Grow,
+            Opcode::RAWAT => PrimOp::At,
+            Opcode::RAWATPUT => PrimOp::AtPut,
+            _ => return None,
+        })
+    }
+
+    /// Whether this operation accesses memory outside the contexts —
+    /// §3.4: "Because memory access is restricted to these two instructions,
+    /// the COM pipeline rarely has to wait for a memory cycle to complete."
+    pub fn touches_memory(self) -> bool {
+        matches!(
+            self,
+            PrimOp::At | PrimOp::AtPut | PrimOp::Movea | PrimOp::New | PrimOp::Grow
+        )
+    }
+
+    /// Whether this operation redirects control flow.
+    pub fn is_control(self) -> bool {
+        matches!(self, PrimOp::Fjmp | PrimOp::Rjmp | PrimOp::Xfer)
+    }
+}
+
+impl core::fmt::Display for PrimOp {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_standard_opcode_has_a_primitive() {
+        for &(op, _) in Opcode::standard() {
+            assert!(
+                PrimOp::for_opcode(op).is_some(),
+                "no primitive for {op}"
+            );
+        }
+    }
+
+    #[test]
+    fn user_opcodes_have_no_primitive() {
+        assert_eq!(PrimOp::for_opcode(Opcode(Opcode::USER_BASE)), None);
+    }
+
+    #[test]
+    fn memory_restriction_matches_paper() {
+        assert!(PrimOp::At.touches_memory());
+        assert!(PrimOp::AtPut.touches_memory());
+        assert!(!PrimOp::Add.touches_memory());
+        assert!(!PrimOp::Move.touches_memory());
+    }
+
+    #[test]
+    fn control_ops() {
+        assert!(PrimOp::Fjmp.is_control());
+        assert!(PrimOp::Xfer.is_control());
+        assert!(!PrimOp::At.is_control());
+    }
+}

@@ -1,0 +1,106 @@
+//! Property-based tests for instruction encoding invariants.
+
+use com_isa::{Instr, IsaError, Opcode, Operand};
+use proptest::prelude::*;
+
+fn arb_operand() -> impl Strategy<Value = Operand> {
+    prop_oneof![
+        (0u8..=63).prop_map(Operand::Cur),
+        (0u8..=63).prop_map(Operand::Next),
+        (0u8..=127).prop_map(Operand::Const),
+    ]
+}
+
+fn arb_src_operand() -> impl Strategy<Value = Operand> {
+    arb_operand()
+}
+
+fn arb_dst_operand() -> impl Strategy<Value = Operand> {
+    prop_oneof![
+        (0u8..=63).prop_map(Operand::Cur),
+        (0u8..=63).prop_map(Operand::Next),
+    ]
+}
+
+proptest! {
+    /// Every constructible three-address instruction round-trips through
+    /// its 36-bit encoding.
+    #[test]
+    fn three_address_roundtrip(
+        op in 0u16..=0x3FF,
+        ret in any::<bool>(),
+        a in arb_dst_operand(),
+        b in arb_src_operand(),
+        c in arb_src_operand(),
+    ) {
+        let i = Instr::three_ret(Opcode(op), a, b, c, ret).expect("valid");
+        let encoded = i.encode();
+        prop_assert!(encoded < (1 << 36), "payload exceeds 36 bits");
+        prop_assert_eq!(Instr::decode(encoded).expect("decodes"), i);
+    }
+
+    /// Zero-address instructions round-trip for all selectors and arities.
+    #[test]
+    fn zero_address_roundtrip(op in 0u16..=0x3FF, nargs in 0u8..=2, ret in any::<bool>()) {
+        let i = Instr::zero(Opcode(op), nargs, ret).expect("valid");
+        prop_assert_eq!(Instr::decode(i.encode()).expect("decodes"), i);
+    }
+
+    /// Decoding is total over valid payloads and never panics over
+    /// arbitrary 36-bit patterns; when it succeeds, re-encoding the decoded
+    /// instruction reproduces the bits (decode is a partial inverse).
+    #[test]
+    fn decode_never_panics_and_reencodes(raw in 0u64..(1 << 36)) {
+        if let Ok(i) = Instr::decode(raw) {
+            prop_assert_eq!(i.encode(), raw);
+        }
+    }
+
+    /// Payloads above 36 bits are always rejected.
+    #[test]
+    fn wide_payloads_rejected(raw in (1u64 << 36)..u64::MAX) {
+        prop_assert!(matches!(Instr::decode(raw), Err(IsaError::BadEncoding(_))));
+    }
+
+    /// A constant in the destination slot is rejected for every opcode.
+    #[test]
+    fn const_destination_always_rejected(
+        op in 0u16..=0x3FF,
+        k in 0u8..=127,
+        b in arb_src_operand(),
+        c in arb_src_operand(),
+    ) {
+        let rejected = matches!(
+            Instr::three(Opcode(op), Operand::Const(k), b, c),
+            Err(IsaError::MisplacedConstant { position: 0 })
+        );
+        prop_assert!(rejected);
+    }
+
+    /// `sources()` and `destination()` are consistent with the operand
+    /// fields: sources are exactly B and C; the destination is A except
+    /// for jumps and stores.
+    #[test]
+    fn source_destination_contract(
+        op in 0u16..=0x3FF,
+        a in arb_dst_operand(),
+        b in arb_src_operand(),
+        c in arb_src_operand(),
+    ) {
+        let i = Instr::three(Opcode(op), a, b, c).expect("valid");
+        prop_assert_eq!(i.sources(), vec![b, c]);
+        let opc = Opcode(op);
+        if opc == Opcode::FJMP || opc == Opcode::RJMP || opc == Opcode::ATPUT {
+            prop_assert_eq!(i.destination(), None);
+        } else {
+            prop_assert_eq!(i.destination(), Some(a));
+        }
+    }
+
+    /// Operand descriptors round-trip through their byte encoding for all
+    /// 256 values (exhaustive via proptest shrink coverage).
+    #[test]
+    fn operand_byte_roundtrip(byte in any::<u8>()) {
+        prop_assert_eq!(Operand::decode(byte).encode(), byte);
+    }
+}

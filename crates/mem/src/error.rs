@@ -1,0 +1,128 @@
+//! Memory system errors and traps.
+
+use com_fpa::{Fpa, FpaError, SegmentName};
+
+use crate::{AbsAddr, TeamId};
+
+/// Errors and traps raised by the memory system.
+///
+/// Variants marked *trap* correspond to conditions the COM hardware turns
+/// into system traps; the machine (`com-core`) catches some of them (e.g.
+/// [`MemError::GrowthForward`]) and repairs the faulting pointer, as §2.2
+/// prescribes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MemError {
+    /// The team space named by a virtual address does not exist.
+    UnknownTeam(TeamId),
+    /// No descriptor for this segment in the team's table (dangling
+    /// capability or GC'd object).
+    UnknownSegment {
+        /// The team whose table was consulted.
+        team: TeamId,
+        /// The missing segment.
+        segment: SegmentName,
+    },
+    /// *Trap.* Access beyond the segment's length ("The offset field of the
+    /// virtual address is compared to the segment length field … to check if
+    /// the access is in bounds", §3.1).
+    Bounds {
+        /// The faulting address.
+        addr: Fpa,
+        /// The offset that was requested.
+        offset: u64,
+        /// The segment's current length in words.
+        length: u64,
+    },
+    /// *Trap, recoverable.* The object grew and this (stale) pointer's
+    /// bounds were exceeded; the handler must replace the old segment
+    /// number with `new` and retry (§2.2 aliasing).
+    GrowthForward {
+        /// The stale address that faulted.
+        old: Fpa,
+        /// The object's current (larger) address.
+        new: Fpa,
+    },
+    /// Absolute space is exhausted (buddy allocator failure).
+    OutOfAbsoluteSpace {
+        /// Words requested.
+        words: u64,
+    },
+    /// Read or write to an absolute address outside any allocated block.
+    UnmappedAbsolute(AbsAddr),
+    /// An address-arithmetic or naming error bubbled up from `com-fpa`.
+    Address(FpaError),
+    /// Attempt to grow an object beyond the largest expressible segment.
+    GrowTooLarge {
+        /// The object being grown.
+        addr: Fpa,
+        /// Requested new length.
+        new_words: u64,
+    },
+    /// Freeing or growing an object that was already freed.
+    UseAfterFree(Fpa),
+}
+
+impl From<FpaError> for MemError {
+    fn from(e: FpaError) -> Self {
+        MemError::Address(e)
+    }
+}
+
+impl core::fmt::Display for MemError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            MemError::UnknownTeam(t) => write!(f, "unknown team space {t}"),
+            MemError::UnknownSegment { team, segment } => {
+                write!(f, "no descriptor for {segment} in team {team}")
+            }
+            MemError::Bounds {
+                addr,
+                offset,
+                length,
+            } => write!(
+                f,
+                "bounds trap at {addr}: offset {offset} beyond segment length {length}"
+            ),
+            MemError::GrowthForward { old, new } => write!(
+                f,
+                "growth forwarding trap: {old} must be replaced by {new}"
+            ),
+            MemError::OutOfAbsoluteSpace { words } => {
+                write!(f, "absolute space exhausted allocating {words} words")
+            }
+            MemError::UnmappedAbsolute(a) => write!(f, "unmapped absolute address {a}"),
+            MemError::Address(e) => write!(f, "address error: {e}"),
+            MemError::GrowTooLarge { addr, new_words } => {
+                write!(f, "cannot grow {addr} to {new_words} words")
+            }
+            MemError::UseAfterFree(a) => write!(f, "use after free of {a}"),
+        }
+    }
+}
+
+impl std::error::Error for MemError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MemError::Address(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trait_bounds() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<MemError>();
+    }
+
+    #[test]
+    fn fpa_errors_convert() {
+        let e: MemError = FpaError::ClassExhausted { exponent: 3 }.into();
+        assert!(matches!(e, MemError::Address(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,46 @@
+//! Tagged memory and three-level addressing for the Caltech Object Machine.
+//!
+//! §3.1 of the paper: "There are three address spaces in the COM: *virtual
+//! space*, *absolute space*, and *physical space*. The issue of naming is
+//! resolved in the translation from virtual space to absolute space. The
+//! resource allocation problem is handled in the translation from absolute
+//! space to physical space."
+//!
+//! This crate builds that memory system:
+//!
+//! * [`Word`] — every memory word carries a four-bit tag identifying
+//!   "uninitialised, small integer, floating point number, atom, instruction
+//!   and object pointer" (§3.2), realised as a Rust enum.
+//! * [`AbsoluteMemory`] + [`BuddyAllocator`] — the global absolute space.
+//!   Buddy allocation yields the paper's invariant that "all segments are
+//!   aligned on absolute addresses which are multiples of their sizes so no
+//!   add is required" (§3.1).
+//! * [`SegmentTable`]/[`TeamSpace`] — per-team segment descriptor tables
+//!   ("Each team space has its own segment descriptor table. Each entry …
+//!   consists of three fields: base address, length and object class").
+//! * [`Mmu`] — virtual→absolute translation through an ATLB, with bounds
+//!   checks and the §2.2 growth/forwarding trap for aliased objects.
+//! * [`ObjectSpace`] — the allocation API (create / grow / free / read /
+//!   write) used by the machine, with [`AllocKind`]-keyed statistics that
+//!   feed experiment T5.
+//! * [`gc`] — stop-the-world mark-sweep over absolute space ("All object
+//!   management, for example garbage collection, is performed in absolute
+//!   space").
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod absolute;
+mod error;
+pub mod gc;
+mod mmu;
+mod objspace;
+mod segment;
+mod word;
+
+pub use absolute::{AbsAddr, AbsoluteMemory, BuddyAllocator};
+pub use error::MemError;
+pub use mmu::{Mmu, Translation};
+pub use objspace::{AllocKind, AllocStats, ObjectSpace};
+pub use segment::{SegmentDescriptor, SegmentTable, TeamId, TeamSpace};
+pub use word::{AtomId, ClassId, Tag, Word};

@@ -1,0 +1,509 @@
+//! The object allocation and access API used by the machines.
+
+use com_fpa::Fpa;
+
+use crate::{AbsoluteMemory, ClassId, MemError, Mmu, SegmentDescriptor, TeamId, Translation, Word};
+
+/// What an allocation is for — drives the T5 statistics ("85% of all object
+/// allocations and deallocations involve contexts", §2.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AllocKind {
+    /// A method activation record (32-word context).
+    Context,
+    /// An ordinary data object.
+    Object,
+    /// A compiled-method code object.
+    Code,
+}
+
+impl AllocKind {
+    /// All kinds, for iteration in reports.
+    pub const ALL: [AllocKind; 3] = [AllocKind::Context, AllocKind::Object, AllocKind::Code];
+}
+
+impl core::fmt::Display for AllocKind {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            AllocKind::Context => write!(f, "context"),
+            AllocKind::Object => write!(f, "object"),
+            AllocKind::Code => write!(f, "code"),
+        }
+    }
+}
+
+/// Allocation / deallocation / reference counters per [`AllocKind`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AllocStats {
+    /// Allocations performed.
+    pub allocs: [u64; 3],
+    /// Deallocations performed.
+    pub frees: [u64; 3],
+    /// Words allocated.
+    pub words: [u64; 3],
+    /// Reads + writes through each kind's segments.
+    pub references: [u64; 3],
+}
+
+impl AllocStats {
+    fn idx(kind: AllocKind) -> usize {
+        match kind {
+            AllocKind::Context => 0,
+            AllocKind::Object => 1,
+            AllocKind::Code => 2,
+        }
+    }
+
+    /// Allocations of `kind`.
+    pub fn allocs_of(&self, kind: AllocKind) -> u64 {
+        self.allocs[Self::idx(kind)]
+    }
+
+    /// Frees of `kind`.
+    pub fn frees_of(&self, kind: AllocKind) -> u64 {
+        self.frees[Self::idx(kind)]
+    }
+
+    /// References (reads + writes) through segments of `kind`.
+    pub fn references_of(&self, kind: AllocKind) -> u64 {
+        self.references[Self::idx(kind)]
+    }
+
+    /// Fraction of all allocations that are contexts (paper cites 85%).
+    pub fn context_alloc_fraction(&self) -> Option<f64> {
+        let total: u64 = self.allocs.iter().sum();
+        if total == 0 {
+            None
+        } else {
+            Some(self.allocs_of(AllocKind::Context) as f64 / total as f64)
+        }
+    }
+
+    /// Fraction of all references that touch contexts (paper cites 91%).
+    pub fn context_reference_fraction(&self) -> Option<f64> {
+        let total: u64 = self.references.iter().sum();
+        if total == 0 {
+            None
+        } else {
+            Some(self.references_of(AllocKind::Context) as f64 / total as f64)
+        }
+    }
+}
+
+/// The storage system the machines allocate from: absolute memory + MMU,
+/// with per-kind accounting and automatic growth forwarding.
+///
+/// ```
+/// use com_fpa::FpaFormat;
+/// use com_mem::{AllocKind, ClassId, ObjectSpace, TeamId, Word};
+///
+/// # fn main() -> Result<(), com_mem::MemError> {
+/// let mut space = ObjectSpace::new(24, FpaFormat::COM);
+/// let team = TeamId(0);
+/// let obj = space.create(team, ClassId(9), 10, AllocKind::Object)?;
+/// space.write(team, obj.with_offset(3)?, Word::Int(7))?;
+/// assert_eq!(space.read(team, obj.with_offset(3)?)?, Word::Int(7));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct ObjectSpace {
+    mem: AbsoluteMemory,
+    mmu: Mmu,
+    stats: AllocStats,
+    /// Pointers repaired by following growth forwards during read/write.
+    repairs: u64,
+}
+
+impl ObjectSpace {
+    /// Creates a space of `2^space_log2` absolute words with one team
+    /// (`TeamId(0)`) pre-created.
+    pub fn new(space_log2: u8, format: com_fpa::FpaFormat) -> Self {
+        let mut mmu = Mmu::new(format);
+        mmu.create_team(TeamId(0));
+        ObjectSpace {
+            mem: AbsoluteMemory::new(space_log2),
+            mmu,
+            stats: AllocStats::default(),
+            repairs: 0,
+        }
+    }
+
+    /// The underlying MMU (teams, ATLB, trap counters).
+    pub fn mmu(&self) -> &Mmu {
+        &self.mmu
+    }
+
+    /// Mutable access to the MMU (team creation, invalidation).
+    pub fn mmu_mut(&mut self) -> &mut Mmu {
+        &mut self.mmu
+    }
+
+    /// The underlying absolute memory.
+    pub fn memory(&self) -> &AbsoluteMemory {
+        &self.mem
+    }
+
+    /// Mutable access to the absolute memory (the GC and the context cache
+    /// write back through this).
+    pub fn memory_mut(&mut self) -> &mut AbsoluteMemory {
+        &mut self.mem
+    }
+
+    /// Allocation statistics for experiment T5.
+    pub fn stats(&self) -> AllocStats {
+        self.stats
+    }
+
+    /// Pointers repaired by growth forwarding during reads/writes.
+    pub fn repairs(&self) -> u64 {
+        self.repairs
+    }
+
+    /// Creates an object of `words` words and class `class` in `team`,
+    /// returning its base capability.
+    ///
+    /// # Errors
+    ///
+    /// Returns naming errors from `com-fpa` or
+    /// [`MemError::OutOfAbsoluteSpace`].
+    pub fn create(
+        &mut self,
+        team: TeamId,
+        class: ClassId,
+        words: u64,
+        kind: AllocKind,
+    ) -> Result<Fpa, MemError> {
+        let base_abs = self.mem.alloc_block(words.max(1))?;
+        let ts = self.mmu.team_mut(team)?;
+        let addr = match ts.names.alloc_for_size(words.max(1)) {
+            Ok(a) => a,
+            Err(e) => {
+                self.mem.free_block(base_abs)?;
+                return Err(e.into());
+            }
+        };
+        ts.table
+            .insert(addr.segment(), SegmentDescriptor::new(base_abs, words.max(1), class));
+        let i = AllocStats::idx(kind);
+        self.stats.allocs[i] += 1;
+        self.stats.words[i] += words.max(1);
+        Ok(addr)
+    }
+
+    /// Frees the object named by `addr` (which must be a base capability),
+    /// releasing its storage and descriptor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::UnknownSegment`] for dangling names.
+    pub fn free(&mut self, team: TeamId, addr: Fpa, kind: AllocKind) -> Result<(), MemError> {
+        let segment = addr.segment();
+        let ts = self.mmu.team_mut(team)?;
+        let desc = ts
+            .table
+            .remove(segment)
+            .ok_or(MemError::UnknownSegment { team, segment })?;
+        ts.names.free(segment);
+        self.mmu.invalidate(team, segment);
+        // Aliased (forwarded-from) names may still reference this block; the
+        // storage is freed only if this descriptor still owns a live block
+        // at its base (forwarded old names share the new block).
+        if self.mem.block_words(desc.base).is_some() && desc.forward.is_none() {
+            self.mem.free_block(desc.base)?;
+        }
+        self.stats.frees[AllocStats::idx(kind)] += 1;
+        Ok(())
+    }
+
+    /// Grows the object at `addr` to `new_words`, returning its new (wider)
+    /// capability. Implements §2.2: a new segment is allocated, both old and
+    /// new descriptors point at it, and the old descriptor forwards.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::GrowTooLarge`], naming errors, or
+    /// [`MemError::UnknownSegment`].
+    pub fn grow(&mut self, team: TeamId, addr: Fpa, new_words: u64) -> Result<Fpa, MemError> {
+        let segment = addr.segment();
+        let old_desc = {
+            let ts = self.mmu.team(team)?;
+            *ts.table
+                .get(segment)
+                .ok_or(MemError::UnknownSegment { team, segment })?
+        };
+        if new_words <= old_desc.length {
+            return Ok(addr); // nothing to do
+        }
+        let new_abs = self.mem.alloc_block(new_words)?;
+        let ts = self.mmu.team_mut(team)?;
+        let new_addr = match ts.names.alloc_for_size(new_words) {
+            Ok(a) => a,
+            Err(com_fpa::FpaError::ObjectTooLarge { .. }) => {
+                self.mem.free_block(new_abs)?;
+                return Err(MemError::GrowTooLarge { addr, new_words });
+            }
+            Err(e) => {
+                self.mem.free_block(new_abs)?;
+                return Err(e.into());
+            }
+        };
+        // Copy contents to the new block.
+        for off in 0..old_desc.length {
+            let w = self.mem.peek(old_desc.base.offset(off))?;
+            self.mem.write(new_abs.offset(off), w)?;
+        }
+        let old_base = old_desc.base;
+        let ts = self.mmu.team_mut(team)?;
+        // "The segment descriptors of both the old and the new pointers are
+        // set to point to the new segment." Every alias of the old block —
+        // names left behind by earlier grows included — is re-pointed and
+        // forwarded to the newest name, so no alias can observe the freed
+        // storage.
+        ts.table.insert(
+            new_addr.segment(),
+            SegmentDescriptor::new(new_abs, new_words, old_desc.class),
+        );
+        let aliases: Vec<_> = ts
+            .table
+            .iter()
+            .filter(|(name, d)| d.base == old_base && *name != new_addr.segment())
+            .map(|(name, _)| name)
+            .collect();
+        for name in &aliases {
+            let d = ts.table.get_mut(*name).expect("listed above");
+            d.base = new_abs;
+            d.forward = Some(new_addr);
+        }
+        for name in aliases {
+            self.mmu.invalidate(team, name);
+        }
+        self.mem.free_block(old_base)?;
+        Ok(new_addr)
+    }
+
+    /// Translates an address, following growth forwarding transparently.
+    ///
+    /// # Errors
+    ///
+    /// Propagates translation errors other than recoverable forwarding.
+    pub fn translate(&mut self, team: TeamId, addr: Fpa) -> Result<Translation, MemError> {
+        let (t, repaired) = self.mmu.translate_following(team, addr)?;
+        if repaired.is_some() {
+            self.repairs += 1;
+        }
+        Ok(t)
+    }
+
+    /// Reads the word at `addr`, counting the reference against `kind`
+    /// when known (contexts vs objects for T5).
+    ///
+    /// # Errors
+    ///
+    /// Propagates translation and mapping errors.
+    pub fn read_kind(&mut self, team: TeamId, addr: Fpa, kind: AllocKind) -> Result<Word, MemError> {
+        let t = self.translate(team, addr)?;
+        self.stats.references[AllocStats::idx(kind)] += 1;
+        self.mem.read(t.abs)
+    }
+
+    /// Reads the word at `addr` (counted as an object reference).
+    ///
+    /// # Errors
+    ///
+    /// Propagates translation and mapping errors.
+    pub fn read(&mut self, team: TeamId, addr: Fpa) -> Result<Word, MemError> {
+        self.read_kind(team, addr, AllocKind::Object)
+    }
+
+    /// Writes the word at `addr`, counting the reference against `kind`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates translation and mapping errors.
+    pub fn write_kind(
+        &mut self,
+        team: TeamId,
+        addr: Fpa,
+        word: Word,
+        kind: AllocKind,
+    ) -> Result<(), MemError> {
+        let t = self.translate(team, addr)?;
+        self.stats.references[AllocStats::idx(kind)] += 1;
+        self.mem.write(t.abs, word)
+    }
+
+    /// Writes the word at `addr` (counted as an object reference).
+    ///
+    /// # Errors
+    ///
+    /// Propagates translation and mapping errors.
+    pub fn write(&mut self, team: TeamId, addr: Fpa, word: Word) -> Result<(), MemError> {
+        self.write_kind(team, addr, word, AllocKind::Object)
+    }
+
+    /// Reads a word by absolute address (for callers that already hold a
+    /// translation), counting the reference against `kind`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::UnmappedAbsolute`] outside any live block.
+    pub fn read_abs(&mut self, abs: crate::AbsAddr, kind: AllocKind) -> Result<Word, MemError> {
+        self.stats.references[AllocStats::idx(kind)] += 1;
+        self.mem.read(abs)
+    }
+
+    /// Writes a word by absolute address, counting the reference against
+    /// `kind`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::UnmappedAbsolute`] outside any live block.
+    pub fn write_abs(
+        &mut self,
+        abs: crate::AbsAddr,
+        word: Word,
+        kind: AllocKind,
+    ) -> Result<(), MemError> {
+        self.stats.references[AllocStats::idx(kind)] += 1;
+        self.mem.write(abs, word)
+    }
+
+    /// The class of the object at `addr` (one descriptor access).
+    ///
+    /// # Errors
+    ///
+    /// Propagates descriptor-lookup errors.
+    pub fn class_of(&mut self, team: TeamId, addr: Fpa) -> Result<ClassId, MemError> {
+        let (d, _) = self.mmu.descriptor(team, addr.segment())?;
+        Ok(d.class)
+    }
+
+    /// The length in words of the object at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates descriptor-lookup errors.
+    pub fn length_of(&mut self, team: TeamId, addr: Fpa) -> Result<u64, MemError> {
+        let (d, _) = self.mmu.descriptor(team, addr.segment())?;
+        Ok(d.length)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use com_fpa::FpaFormat;
+
+    const TEAM: TeamId = TeamId(0);
+
+    fn space() -> ObjectSpace {
+        ObjectSpace::new(20, FpaFormat::COM)
+    }
+
+    #[test]
+    fn create_read_write_free() {
+        let mut s = space();
+        let obj = s.create(TEAM, ClassId(9), 8, AllocKind::Object).unwrap();
+        s.write(TEAM, obj.with_offset(2).unwrap(), Word::Int(5)).unwrap();
+        assert_eq!(s.read(TEAM, obj.with_offset(2).unwrap()).unwrap(), Word::Int(5));
+        assert_eq!(s.class_of(TEAM, obj).unwrap(), ClassId(9));
+        assert_eq!(s.length_of(TEAM, obj).unwrap(), 8);
+        s.free(TEAM, obj, AllocKind::Object).unwrap();
+        assert!(s.read(TEAM, obj).is_err());
+    }
+
+    #[test]
+    fn stats_track_kinds() {
+        let mut s = space();
+        let ctx = s.create(TEAM, ClassId(8), 32, AllocKind::Context).unwrap();
+        let obj = s.create(TEAM, ClassId(9), 4, AllocKind::Object).unwrap();
+        s.write_kind(TEAM, ctx, Word::Int(1), AllocKind::Context).unwrap();
+        s.write_kind(TEAM, ctx.with_offset(1).unwrap(), Word::Int(2), AllocKind::Context)
+            .unwrap();
+        s.read_kind(TEAM, obj, AllocKind::Object).unwrap();
+        let st = s.stats();
+        assert_eq!(st.allocs_of(AllocKind::Context), 1);
+        assert_eq!(st.allocs_of(AllocKind::Object), 1);
+        assert_eq!(st.references_of(AllocKind::Context), 2);
+        assert_eq!(st.references_of(AllocKind::Object), 1);
+        assert!((st.context_alloc_fraction().unwrap() - 0.5).abs() < 1e-9);
+        assert!((st.context_reference_fraction().unwrap() - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn grow_preserves_contents_and_forwards() {
+        let mut s = space();
+        let obj = s.create(TEAM, ClassId(9), 4, AllocKind::Object).unwrap();
+        for i in 0..4 {
+            s.write(TEAM, obj.with_offset(i).unwrap(), Word::Int(i as i64 * 10))
+                .unwrap();
+        }
+        let new = s.grow(TEAM, obj, 100).unwrap();
+        assert!(new.capacity() >= 100);
+        // Old data visible through both names.
+        for i in 0..4 {
+            assert_eq!(
+                s.read(TEAM, new.with_offset(i).unwrap()).unwrap(),
+                Word::Int(i as i64 * 10)
+            );
+            assert_eq!(
+                s.read(TEAM, obj.with_offset(i).unwrap()).unwrap(),
+                Word::Int(i as i64 * 10)
+            );
+        }
+        // Writing through the old name is visible through the new one.
+        s.write(TEAM, obj.with_offset(1).unwrap(), Word::Int(-1)).unwrap();
+        assert_eq!(
+            s.read(TEAM, new.with_offset(1).unwrap()).unwrap(),
+            Word::Int(-1)
+        );
+    }
+
+    #[test]
+    fn stale_pointer_is_repaired_on_out_of_bounds_access() {
+        let mut s = space();
+        let obj = s.create(TEAM, ClassId(9), 4, AllocKind::Object).unwrap();
+        let new = s.grow(TEAM, obj, 40).unwrap();
+        s.write(TEAM, new.with_offset(20).unwrap(), Word::Int(99)).unwrap();
+        // A stale pointer cannot even *encode* offset 20 (old capacity 4);
+        // but offsets inside the old capacity beyond old length trap+forward.
+        assert_eq!(s.repairs(), 0);
+        // offset 3 < old length 4: no repair needed.
+        s.read(TEAM, obj.with_offset(3).unwrap()).unwrap();
+        assert_eq!(s.repairs(), 0);
+    }
+
+    #[test]
+    fn grow_too_large_is_reported() {
+        let mut s = ObjectSpace::new(20, FpaFormat::DEMO16);
+        let obj = s.create(TEAM, ClassId(9), 4, AllocKind::Object).unwrap();
+        // DEMO16 max segment = 2^12 words; growing beyond must fail.
+        assert!(matches!(
+            s.grow(TEAM, obj, 1 << 13),
+            Err(MemError::GrowTooLarge { .. })
+        ));
+        // The object must remain intact after the failed grow.
+        assert_eq!(s.length_of(TEAM, obj).unwrap(), 4);
+    }
+
+    #[test]
+    fn grow_to_smaller_is_noop() {
+        let mut s = space();
+        let obj = s.create(TEAM, ClassId(9), 16, AllocKind::Object).unwrap();
+        let same = s.grow(TEAM, obj, 8).unwrap();
+        assert_eq!(same, obj);
+    }
+
+    #[test]
+    fn freeing_grown_object_via_new_name_releases_storage() {
+        let mut s = space();
+        let obj = s.create(TEAM, ClassId(9), 4, AllocKind::Object).unwrap();
+        let new = s.grow(TEAM, obj, 64).unwrap();
+        let live_before = s.memory().buddy().allocated_words();
+        s.free(TEAM, new, AllocKind::Object).unwrap();
+        assert!(s.memory().buddy().allocated_words() < live_before);
+        // The stale alias now dangles; reads through it fail rather than
+        // returning freed storage.
+        assert!(s.read(TEAM, new).is_err());
+    }
+}

@@ -1,0 +1,145 @@
+//! Property-based tests for memory-system invariants.
+
+use com_fpa::FpaFormat;
+use com_mem::{gc, AllocKind, BuddyAllocator, ClassId, ObjectSpace, TeamId, Word};
+use proptest::prelude::*;
+
+const TEAM: TeamId = TeamId(0);
+
+proptest! {
+    /// Buddy blocks are always aligned to their size and never overlap.
+    #[test]
+    fn buddy_alignment_and_disjointness(orders in prop::collection::vec(0u8..6, 1..40)) {
+        let mut b = BuddyAllocator::new(12);
+        let mut live: Vec<(u64, u64)> = Vec::new(); // (base, words)
+        for o in orders {
+            if let Ok(a) = b.alloc(o) {
+                let words = 1u64 << o;
+                prop_assert_eq!(a.0 % words, 0, "misaligned block");
+                for &(lb, lw) in &live {
+                    let disjoint = a.0 + words <= lb || lb + lw <= a.0;
+                    prop_assert!(disjoint, "overlap: ({},{}) vs ({},{})", a.0, words, lb, lw);
+                }
+                live.push((a.0, words));
+            }
+        }
+    }
+
+    /// Alloc/free in arbitrary interleavings conserves words: allocated
+    /// words equal the sum of live block sizes, and freeing everything
+    /// coalesces back to the full space.
+    #[test]
+    fn buddy_conservation(script in prop::collection::vec((0u8..6, any::<bool>()), 1..60)) {
+        let mut b = BuddyAllocator::new(12);
+        let mut live: Vec<(com_mem::AbsAddr, u8)> = Vec::new();
+        for (o, free_one) in script {
+            if free_one && !live.is_empty() {
+                let (a, order) = live.swap_remove(0);
+                b.free(a, order).unwrap();
+            } else if let Ok(a) = b.alloc(o) {
+                live.push((a, o));
+            }
+            let expect: u64 = live.iter().map(|&(_, o)| 1u64 << o).sum();
+            prop_assert_eq!(b.allocated_words(), expect);
+        }
+        for (a, o) in live.drain(..) {
+            b.free(a, o).unwrap();
+        }
+        prop_assert_eq!(b.allocated_words(), 0);
+        // Full coalescing: the whole space is one block again.
+        prop_assert!(b.alloc(12).is_ok());
+    }
+
+    /// Read-after-write through virtual addresses returns exactly what was
+    /// written, for arbitrary object sizes and offsets.
+    #[test]
+    fn read_after_write(
+        sizes in prop::collection::vec(1u64..200, 1..20),
+        payload in any::<i64>(),
+    ) {
+        let mut s = ObjectSpace::new(22, FpaFormat::COM);
+        for words in sizes {
+            let obj = s.create(TEAM, ClassId(9), words, AllocKind::Object).unwrap();
+            let off = words - 1;
+            let a = obj.with_offset(off).unwrap();
+            s.write(TEAM, a, Word::Int(payload)).unwrap();
+            prop_assert_eq!(s.read(TEAM, a).unwrap(), Word::Int(payload));
+            // One past the end must bounds-trap.
+            if off + 1 < obj.capacity() {
+                let oob = obj.with_offset(off + 1).unwrap();
+                prop_assert!(s.read(TEAM, oob).is_err());
+            }
+        }
+    }
+
+    /// Growing an object preserves every word, through both old and new
+    /// names, for arbitrary grow chains.
+    #[test]
+    fn grow_preserves_contents(
+        initial in 1u64..32,
+        grows in prop::collection::vec(1u64..200, 1..5),
+    ) {
+        let mut s = ObjectSpace::new(22, FpaFormat::COM);
+        let first = s.create(TEAM, ClassId(9), initial, AllocKind::Object).unwrap();
+        for i in 0..initial {
+            s.write(TEAM, first.with_offset(i).unwrap(), Word::Int(i as i64)).unwrap();
+        }
+        let mut cur = first;
+        let mut len = initial;
+        for g in grows {
+            let target = len + g;
+            cur = s.grow(TEAM, cur, target).unwrap();
+            len = s.length_of(TEAM, cur).unwrap();
+            prop_assert!(len >= target);
+        }
+        for i in 0..initial {
+            prop_assert_eq!(
+                s.read(TEAM, cur.with_offset(i).unwrap()).unwrap(),
+                Word::Int(i as i64)
+            );
+            // The original name still reaches the same data (§2.2 aliasing).
+            prop_assert_eq!(
+                s.read(TEAM, first.with_offset(i).unwrap()).unwrap(),
+                Word::Int(i as i64)
+            );
+        }
+    }
+
+    /// GC never reclaims reachable objects and always reclaims unreachable
+    /// ones; running it twice is idempotent.
+    #[test]
+    fn gc_precision(keep_mask in prop::collection::vec(any::<bool>(), 1..30)) {
+        let mut s = ObjectSpace::new(22, FpaFormat::COM);
+        let mut roots = Vec::new();
+        let mut dead = Vec::new();
+        for (i, keep) in keep_mask.iter().enumerate() {
+            let obj = s.create(TEAM, ClassId(9), 3, AllocKind::Object).unwrap();
+            s.write(TEAM, obj.with_offset(1).unwrap(), Word::Int(i as i64)).unwrap();
+            if *keep {
+                roots.push(obj);
+            } else {
+                dead.push(obj);
+            }
+        }
+        let st = gc::collect_simple(&mut s, TEAM, &roots).unwrap();
+        prop_assert_eq!(st.marked_segments as usize, roots.len());
+        prop_assert_eq!(st.swept_segments as usize, dead.len());
+        for (i, r) in roots.iter().enumerate() {
+            let expected: Vec<i64> = keep_mask
+                .iter()
+                .enumerate()
+                .filter(|(_, k)| **k)
+                .map(|(j, _)| j as i64)
+                .collect();
+            prop_assert_eq!(
+                s.read(TEAM, r.with_offset(1).unwrap()).unwrap(),
+                Word::Int(expected[i])
+            );
+        }
+        for d in &dead {
+            prop_assert!(s.read(TEAM, *d).is_err());
+        }
+        let st2 = gc::collect_simple(&mut s, TEAM, &roots).unwrap();
+        prop_assert_eq!(st2.swept_segments, 0, "second collection sweeps nothing");
+    }
+}

@@ -1,0 +1,121 @@
+//! Interned atoms (symbols).
+
+use std::collections::HashMap;
+
+use com_mem::AtomId;
+
+/// The atom interning table.
+///
+/// Atoms are immediate symbol values (§3.2's `atom` tag). Three are
+/// reserved at fixed ids so that the machine and the constant tables can
+/// refer to them without a lookup: `false` (0), `true` (1), `nil` (2) —
+/// "the objects true, false, and nil" of §3.4.
+///
+/// ```
+/// use com_obj::AtomTable;
+/// let mut atoms = AtomTable::new();
+/// assert_eq!(atoms.intern("true"), com_mem::AtomId(1));
+/// let foo = atoms.intern("foo");
+/// assert_eq!(atoms.intern("foo"), foo);
+/// assert_eq!(atoms.name(foo), Some("foo"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct AtomTable {
+    names: Vec<String>,
+    by_name: HashMap<String, AtomId>,
+}
+
+impl AtomTable {
+    /// The reserved `false` atom.
+    pub const FALSE: AtomId = AtomId(0);
+    /// The reserved `true` atom.
+    pub const TRUE: AtomId = AtomId(1);
+    /// The reserved `nil` atom.
+    pub const NIL: AtomId = AtomId(2);
+
+    /// Creates a table with the reserved atoms interned.
+    pub fn new() -> Self {
+        let mut t = AtomTable {
+            names: Vec::new(),
+            by_name: HashMap::new(),
+        };
+        for name in ["false", "true", "nil"] {
+            t.intern(name);
+        }
+        t
+    }
+
+    /// Interns `name`, returning its stable id.
+    pub fn intern(&mut self, name: &str) -> AtomId {
+        if let Some(id) = self.by_name.get(name) {
+            return *id;
+        }
+        let id = AtomId(self.names.len() as u32);
+        self.names.push(name.to_string());
+        self.by_name.insert(name.to_string(), id);
+        id
+    }
+
+    /// The name of an atom, if allocated by this table.
+    pub fn name(&self, id: AtomId) -> Option<&str> {
+        self.names.get(id.0 as usize).map(String::as_str)
+    }
+
+    /// Number of interned atoms.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Always false: the reserved atoms are interned at construction.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Truthiness of an atom under the machine's branch rules: `true` is
+    /// true, `false` and `nil` are false, anything else is `None`
+    /// (a branch-condition trap).
+    pub fn truthiness(id: AtomId) -> Option<bool> {
+        match id {
+            Self::TRUE => Some(true),
+            Self::FALSE | Self::NIL => Some(false),
+            _ => None,
+        }
+    }
+}
+
+impl Default for AtomTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reserved_atoms_have_fixed_ids() {
+        let t = AtomTable::new();
+        assert_eq!(t.name(AtomTable::FALSE), Some("false"));
+        assert_eq!(t.name(AtomTable::TRUE), Some("true"));
+        assert_eq!(t.name(AtomTable::NIL), Some("nil"));
+    }
+
+    #[test]
+    fn interning_is_stable() {
+        let mut t = AtomTable::new();
+        let a = t.intern("quicksort");
+        let b = t.intern("quicksort");
+        assert_eq!(a, b);
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.name(AtomId(999)), None);
+    }
+
+    #[test]
+    fn truthiness_rules() {
+        assert_eq!(AtomTable::truthiness(AtomTable::TRUE), Some(true));
+        assert_eq!(AtomTable::truthiness(AtomTable::FALSE), Some(false));
+        assert_eq!(AtomTable::truthiness(AtomTable::NIL), Some(false));
+        assert_eq!(AtomTable::truthiness(AtomId(77)), None);
+    }
+}

@@ -1,0 +1,304 @@
+//! The class table and the standard primitive installation.
+
+use std::collections::HashMap;
+
+use com_isa::{Opcode, PrimOp};
+use com_mem::ClassId;
+
+use crate::{MessageDictionary, MethodRef};
+
+/// Metadata and message dictionary for one class.
+#[derive(Debug, Clone)]
+pub struct ClassInfo {
+    /// The class's name.
+    pub name: String,
+    /// Superclass, or `None` for the root (`Object`).
+    pub superclass: Option<ClassId>,
+    /// Number of named instance variables (the compiler lays these out at
+    /// object offsets `0..n_ivars`).
+    pub n_ivars: u16,
+    /// The class's message dictionary.
+    pub dict: MessageDictionary,
+}
+
+/// The class hierarchy: primitive classes pre-registered, user classes
+/// allocated from [`ClassId::FIRST_OBJECT`] upward.
+///
+/// ```
+/// use com_obj::ClassTable;
+/// use com_mem::ClassId;
+///
+/// let mut classes = ClassTable::new();
+/// let point = classes.define("Point", Some(ClassTable::OBJECT), 2).unwrap();
+/// assert!(classes.get(point).is_some());
+/// assert_eq!(classes.get(ClassId::SMALL_INT).unwrap().name, "SmallInteger");
+/// ```
+#[derive(Debug, Clone)]
+pub struct ClassTable {
+    classes: HashMap<ClassId, ClassInfo>,
+    by_name: HashMap<String, ClassId>,
+    next: u16,
+}
+
+impl ClassTable {
+    /// The root class every chain terminates at.
+    pub const OBJECT: ClassId = ClassId::FIRST_OBJECT;
+
+    /// Creates a table with `Object` and the primitive classes registered.
+    pub fn new() -> Self {
+        let mut t = ClassTable {
+            classes: HashMap::new(),
+            by_name: HashMap::new(),
+            next: ClassId::FIRST_OBJECT.0,
+        };
+        let object = t
+            .define("Object", None, 0)
+            .expect("object class definition cannot fail");
+        debug_assert_eq!(object, Self::OBJECT);
+        for (id, name) in [
+            (ClassId::UNINIT, "UndefinedObject"),
+            (ClassId::SMALL_INT, "SmallInteger"),
+            (ClassId::FLOAT, "Float"),
+            (ClassId::ATOM, "Atom"),
+            (ClassId::INSTR, "Instruction"),
+        ] {
+            t.register(
+                id,
+                ClassInfo {
+                    name: name.to_string(),
+                    superclass: Some(object),
+                    n_ivars: 0,
+                    dict: MessageDictionary::new(),
+                },
+            );
+        }
+        t
+    }
+
+    fn register(&mut self, id: ClassId, info: ClassInfo) {
+        self.by_name.insert(info.name.clone(), id);
+        self.classes.insert(id, info);
+    }
+
+    /// Defines a new class, allocating its id.
+    ///
+    /// # Errors
+    ///
+    /// Returns the name of the conflicting class if `name` is taken.
+    pub fn define(
+        &mut self,
+        name: &str,
+        superclass: Option<ClassId>,
+        n_ivars: u16,
+    ) -> Result<ClassId, String> {
+        if self.by_name.contains_key(name) {
+            return Err(format!("class {name} already defined"));
+        }
+        let id = ClassId(self.next);
+        self.next += 1;
+        self.register(
+            id,
+            ClassInfo {
+                name: name.to_string(),
+                superclass,
+                n_ivars,
+                dict: MessageDictionary::new(),
+            },
+        );
+        Ok(id)
+    }
+
+    /// Looks a class up by id.
+    pub fn get(&self, id: ClassId) -> Option<&ClassInfo> {
+        self.classes.get(&id)
+    }
+
+    /// Looks a class up mutably by id.
+    pub fn get_mut(&mut self, id: ClassId) -> Option<&mut ClassInfo> {
+        self.classes.get_mut(&id)
+    }
+
+    /// Finds a class id by name.
+    pub fn by_name(&self, name: &str) -> Option<ClassId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Installs a method into a class's dictionary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the class does not exist — installing into a phantom class
+    /// is a compiler bug, not a runtime condition.
+    pub fn install(&mut self, class: ClassId, sel: Opcode, method: MethodRef) {
+        self.classes
+            .get_mut(&class)
+            .unwrap_or_else(|| panic!("install into unknown class {class}"))
+            .dict
+            .insert(sel, method);
+    }
+
+    /// Number of classes (primitive + user).
+    pub fn len(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Whether the table is empty (never, after construction).
+    pub fn is_empty(&self) -> bool {
+        self.classes.is_empty()
+    }
+
+    /// Total instance-variable count of `class` including inherited ones —
+    /// the word offset where indexed storage begins.
+    pub fn total_ivars(&self, class: ClassId) -> u16 {
+        let mut total = 0;
+        let mut cur = Some(class);
+        while let Some(c) = cur {
+            match self.get(c) {
+                Some(info) => {
+                    total += info.n_ivars;
+                    cur = info.superclass;
+                }
+                None => break,
+            }
+        }
+        total
+    }
+}
+
+impl Default for ClassTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Installs the §3.3 primitive method families into the primitive classes:
+///
+/// * arithmetic on `SmallInteger` and (except modulo) `Float`;
+/// * multiple-precision and bit-field operations on `SmallInteger`;
+/// * comparisons on both numeric classes;
+/// * `==` (same object), moves, `at:`/`at:put:`, tag access, and control
+///   transfer on `Object`, inherited by every class;
+/// * jumps additionally on `Atom` and `SmallInteger` (branch conditions).
+pub fn install_standard_primitives(classes: &mut ClassTable) {
+    use MethodRef::Primitive as P;
+
+    let int = ClassId::SMALL_INT;
+    let float = ClassId::FLOAT;
+    let atom = ClassId::ATOM;
+    let object = ClassTable::OBJECT;
+
+    // Arithmetic.
+    for (op, p) in [
+        (Opcode::ADD, PrimOp::Add),
+        (Opcode::SUB, PrimOp::Sub),
+        (Opcode::MUL, PrimOp::Mul),
+        (Opcode::DIV, PrimOp::Div),
+        (Opcode::NEG, PrimOp::Neg),
+    ] {
+        classes.install(int, op, P(p));
+        classes.install(float, op, P(p));
+    }
+    classes.install(int, Opcode::MOD, P(PrimOp::Mod));
+
+    // Multiple precision and bit fields: integers only.
+    for (op, p) in [
+        (Opcode::CARRY, PrimOp::Carry),
+        (Opcode::MULT1, PrimOp::Mult1),
+        (Opcode::MULT2, PrimOp::Mult2),
+        (Opcode::SHIFT, PrimOp::Shift),
+        (Opcode::ASHIFT, PrimOp::AShift),
+        (Opcode::ROTATE, PrimOp::Rotate),
+        (Opcode::MASK, PrimOp::Mask),
+        (Opcode::AND, PrimOp::And),
+        (Opcode::OR, PrimOp::Or),
+        (Opcode::NOT, PrimOp::Not),
+        (Opcode::XOR, PrimOp::Xor),
+    ] {
+        classes.install(int, op, P(p));
+    }
+
+    // Comparisons on both numeric classes.
+    for (op, p) in [
+        (Opcode::LT, PrimOp::Lt),
+        (Opcode::LE, PrimOp::Le),
+        (Opcode::EQ, PrimOp::EqVal),
+        (Opcode::NE, PrimOp::NeVal),
+        (Opcode::GT, PrimOp::Gt),
+        (Opcode::GE, PrimOp::Ge),
+    ] {
+        classes.install(int, op, P(p));
+        classes.install(float, op, P(p));
+    }
+    // Equality on atoms compares identity, which EqVal implements for atoms.
+    classes.install(atom, Opcode::EQ, P(PrimOp::EqVal));
+    classes.install(atom, Opcode::NE, P(PrimOp::NeVal));
+
+    // Universal operations, inherited from Object by every class.
+    for (op, p) in [
+        (Opcode::SAME, PrimOp::Same),
+        (Opcode::MOVE, PrimOp::Move),
+        (Opcode::MOVEA, PrimOp::Movea),
+        (Opcode::AT, PrimOp::At),
+        (Opcode::ATPUT, PrimOp::AtPut),
+        (Opcode::AS, PrimOp::TagAs),
+        (Opcode::TAG, PrimOp::TagOf),
+        (Opcode::XFER, PrimOp::Xfer),
+        (Opcode::NEW, PrimOp::New),
+        (Opcode::GROW, PrimOp::Grow),
+        (Opcode::RAWAT, PrimOp::At),
+        (Opcode::RAWATPUT, PrimOp::AtPut),
+    ] {
+        classes.install(object, op, P(p));
+    }
+
+    // Branch conditions are atoms (true/false) or integers.
+    for class in [atom, int] {
+        classes.install(class, Opcode::FJMP, P(PrimOp::Fjmp));
+        classes.install(class, Opcode::RJMP, P(PrimOp::Rjmp));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_classes_preregistered() {
+        let t = ClassTable::new();
+        assert_eq!(t.get(ClassId::SMALL_INT).unwrap().name, "SmallInteger");
+        assert_eq!(t.by_name("Float"), Some(ClassId::FLOAT));
+        assert_eq!(
+            t.get(ClassId::FLOAT).unwrap().superclass,
+            Some(ClassTable::OBJECT)
+        );
+    }
+
+    #[test]
+    fn user_classes_get_fresh_ids() {
+        let mut t = ClassTable::new();
+        let a = t.define("A", Some(ClassTable::OBJECT), 1).unwrap();
+        let b = t.define("B", Some(a), 2).unwrap();
+        assert_ne!(a, b);
+        assert!(a.0 >= ClassId::FIRST_OBJECT.0);
+        assert!(t.define("A", None, 0).is_err());
+        assert_eq!(t.total_ivars(b), 3);
+    }
+
+    #[test]
+    fn standard_primitives_cover_numerics() {
+        let mut t = ClassTable::new();
+        install_standard_primitives(&mut t);
+        let int_dict = &t.get(ClassId::SMALL_INT).unwrap().dict;
+        assert!(int_dict.lookup(Opcode::ADD).0.is_some());
+        assert!(int_dict.lookup(Opcode::MOD).0.is_some());
+        let float_dict = &t.get(ClassId::FLOAT).unwrap().dict;
+        assert!(float_dict.lookup(Opcode::ADD).0.is_some());
+        assert!(
+            float_dict.lookup(Opcode::MOD).0.is_none(),
+            "modulo is integer-only (§3.3)"
+        );
+        let obj_dict = &t.get(ClassTable::OBJECT).unwrap().dict;
+        assert!(obj_dict.lookup(Opcode::SAME).0.is_some());
+        assert!(obj_dict.lookup(Opcode::AT).0.is_some());
+    }
+}

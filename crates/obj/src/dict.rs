@@ -1,0 +1,181 @@
+//! Per-class message dictionaries: open-addressing hash tables with probe
+//! counting.
+//!
+//! The paper's cost argument rests on this structure: "during execution,
+//! every single procedure call is made to an abstract procedure … The method
+//! to be executed is found by associating the message name in a hash table
+//! for the data type — or class — of a selected operand. This association
+//! mechanism is quite costly in comparison to the typical overhead for
+//! procedure calling in conventional languages." (§1.1)
+//!
+//! We implement a real open-addressing table (linear probing, power-of-two
+//! capacity, ≤ 75% load) rather than delegating to `std::collections`, so
+//! experiments can charge cycles per probe.
+
+use com_isa::Opcode;
+
+use crate::MethodRef;
+
+/// A class's message dictionary: selector (opcode) → method.
+#[derive(Debug, Clone)]
+pub struct MessageDictionary {
+    slots: Vec<Option<(Opcode, MethodRef)>>,
+    len: usize,
+}
+
+impl MessageDictionary {
+    /// Creates an empty dictionary (capacity 8).
+    pub fn new() -> Self {
+        MessageDictionary {
+            slots: vec![None; 8],
+            len: 0,
+        }
+    }
+
+    fn mask(&self) -> usize {
+        self.slots.len() - 1
+    }
+
+    fn slot_of(&self, sel: Opcode) -> usize {
+        // Knuth multiplicative hash on the selector number.
+        (sel.0 as usize).wrapping_mul(0x9E37_79B1) & self.mask()
+    }
+
+    /// Installs `method` under `sel`, replacing any previous binding.
+    pub fn insert(&mut self, sel: Opcode, method: MethodRef) {
+        if (self.len + 1) * 4 > self.slots.len() * 3 {
+            self.grow();
+        }
+        let mut i = self.slot_of(sel);
+        loop {
+            match &self.slots[i] {
+                Some((s, _)) if *s == sel => {
+                    self.slots[i] = Some((sel, method));
+                    return;
+                }
+                Some(_) => i = (i + 1) & self.mask(),
+                None => {
+                    self.slots[i] = Some((sel, method));
+                    self.len += 1;
+                    return;
+                }
+            }
+        }
+    }
+
+    fn grow(&mut self) {
+        let doubled = self.slots.len() * 2;
+        let old = std::mem::replace(&mut self.slots, vec![None; doubled]);
+        self.len = 0;
+        for entry in old.into_iter().flatten() {
+            self.insert(entry.0, entry.1);
+        }
+    }
+
+    /// Looks up `sel`, returning the method (if bound) and the number of
+    /// hash probes the search took — the unit the lookup cost model charges.
+    pub fn lookup(&self, sel: Opcode) -> (Option<MethodRef>, u32) {
+        let mut i = self.slot_of(sel);
+        let mut probes = 1;
+        loop {
+            match &self.slots[i] {
+                Some((s, m)) if *s == sel => return (Some(*m), probes),
+                Some(_) => {
+                    i = (i + 1) & self.mask();
+                    probes += 1;
+                }
+                None => return (None, probes),
+            }
+        }
+    }
+
+    /// Number of bound selectors.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no selectors are bound.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Iterates over `(selector, method)` bindings in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (Opcode, &MethodRef)> {
+        self.slots
+            .iter()
+            .filter_map(|s| s.as_ref().map(|(k, v)| (*k, v)))
+    }
+}
+
+impl Default for MessageDictionary {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use com_isa::PrimOp;
+
+    fn prim(p: PrimOp) -> MethodRef {
+        MethodRef::Primitive(p)
+    }
+
+    #[test]
+    fn insert_lookup() {
+        let mut d = MessageDictionary::new();
+        d.insert(Opcode::ADD, prim(PrimOp::Add));
+        d.insert(Opcode::SUB, prim(PrimOp::Sub));
+        let (m, probes) = d.lookup(Opcode::ADD);
+        assert_eq!(m, Some(prim(PrimOp::Add)));
+        assert!(probes >= 1);
+        assert_eq!(d.lookup(Opcode::MUL).0, None);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn replace_binding() {
+        let mut d = MessageDictionary::new();
+        d.insert(Opcode::ADD, prim(PrimOp::Add));
+        d.insert(Opcode::ADD, prim(PrimOp::Sub));
+        assert_eq!(d.lookup(Opcode::ADD).0, Some(prim(PrimOp::Sub)));
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn grows_beyond_initial_capacity() {
+        let mut d = MessageDictionary::new();
+        for i in 0..100 {
+            d.insert(Opcode(i), prim(PrimOp::Move));
+        }
+        assert_eq!(d.len(), 100);
+        for i in 0..100 {
+            assert!(d.lookup(Opcode(i)).0.is_some(), "lost selector {i}");
+        }
+        assert_eq!(d.lookup(Opcode(500)).0, None);
+    }
+
+    #[test]
+    fn probes_grow_under_load() {
+        let mut d = MessageDictionary::new();
+        for i in 0..96 {
+            d.insert(Opcode(i), prim(PrimOp::Move));
+        }
+        let total: u32 = (0..96).map(|i| d.lookup(Opcode(i)).1).sum();
+        // Mean probes must stay sane (< 3) at 75% max load, but some entries
+        // will need more than one probe.
+        assert!(total >= 96);
+        assert!((total as f64 / 96.0) < 3.0);
+    }
+
+    #[test]
+    fn iter_yields_all_bindings() {
+        let mut d = MessageDictionary::new();
+        d.insert(Opcode(1), prim(PrimOp::Add));
+        d.insert(Opcode(2), prim(PrimOp::Sub));
+        let mut sels: Vec<u16> = d.iter().map(|(s, _)| s.0).collect();
+        sels.sort_unstable();
+        assert_eq!(sels, vec![1, 2]);
+    }
+}

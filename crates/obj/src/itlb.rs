@@ -1,0 +1,270 @@
+//! The instruction translation lookaside buffer (§2.1).
+//!
+//! "Abstract instruction decoding, although slow in software can be
+//! mitigated by the use of an associative mechanism in the instruction
+//! translation step which bears remarkable similarity to virtual address
+//! translation. This is an instruction translation lookaside buffer (ITLB),
+//! in which an opcode and the set of operand object datatypes are associated
+//! to a method."
+
+use com_cache::{CacheConfig, CacheError, CacheStats, SetAssocCache};
+use com_isa::Opcode;
+use com_mem::ClassId;
+
+use crate::MethodRef;
+
+/// The associative key: "an opcode and a set of operand classes" (§2.1).
+///
+/// The two slots carry the classes of the source operands (receiver first);
+/// absent operands use [`ClassId::NONE`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ItlbKey {
+    /// The abstract opcode (message selector).
+    pub opcode: Opcode,
+    /// Classes of the source operands, receiver first.
+    pub classes: [ClassId; 2],
+}
+
+impl ItlbKey {
+    /// Builds a key for a receiver-only send.
+    pub fn unary(opcode: Opcode, receiver: ClassId) -> Self {
+        ItlbKey {
+            opcode,
+            classes: [receiver, ClassId::NONE],
+        }
+    }
+
+    /// Builds a key for a receiver + argument send.
+    pub fn binary(opcode: Opcode, receiver: ClassId, arg: ClassId) -> Self {
+        ItlbKey {
+            opcode,
+            classes: [receiver, arg],
+        }
+    }
+}
+
+impl core::fmt::Display for ItlbKey {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "({} {} {})", self.opcode, self.classes[0], self.classes[1])
+    }
+}
+
+/// Geometry of the ITLB, optionally with a second level.
+///
+/// §5: "If this hit ratio is insufficient, a larger second level ITLB can be
+/// implemented in main memory and accessed by miss processing hardware. Only
+/// a miss in both caches would result in a trap."
+#[derive(Debug, Clone, Copy)]
+pub struct ItlbConfig {
+    /// First-level geometry.
+    pub l1: CacheConfig,
+    /// Optional second-level geometry (in main memory; slower but larger).
+    pub l2: Option<CacheConfig>,
+}
+
+impl ItlbConfig {
+    /// The paper's recommended first level: 512 entries, 2-way ("a 99% hit
+    /// ratio can be realized with a 512 entry 2-way associative cache").
+    ///
+    /// # Errors
+    ///
+    /// Never fails for the built-in geometry; the `Result` mirrors
+    /// [`CacheConfig::new`] so callers can build variants uniformly.
+    pub fn paper_default() -> Result<Self, CacheError> {
+        Ok(ItlbConfig {
+            l1: CacheConfig::new(512, 2)?,
+            l2: None,
+        })
+    }
+
+    /// Adds a second level of `entries` × `ways`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError::BadGeometry`] for inconsistent geometry.
+    pub fn with_l2(mut self, entries: usize, ways: usize) -> Result<Self, CacheError> {
+        self.l2 = Some(CacheConfig::new(entries, ways)?);
+        Ok(self)
+    }
+}
+
+/// Where an ITLB lookup was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ItlbHit {
+    /// Found in the first level.
+    L1,
+    /// Found in the second level (promoted to L1).
+    L2,
+    /// Missed everywhere: full method lookup required.
+    Miss,
+}
+
+/// The ITLB: a (possibly two-level) cache from [`ItlbKey`] to [`MethodRef`].
+///
+/// ```
+/// use com_cache::CacheConfig;
+/// use com_isa::{Opcode, PrimOp};
+/// use com_mem::ClassId;
+/// use com_obj::{Itlb, ItlbConfig, ItlbKey, MethodRef};
+///
+/// # fn main() -> Result<(), com_cache::CacheError> {
+/// let mut itlb = Itlb::new(ItlbConfig::paper_default()?);
+/// let key = ItlbKey::binary(Opcode::ADD, ClassId::SMALL_INT, ClassId::SMALL_INT);
+/// assert!(itlb.lookup(key).is_none());
+/// itlb.fill(key, MethodRef::Primitive(PrimOp::Add));
+/// assert!(itlb.lookup(key).is_some());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Itlb {
+    l1: SetAssocCache<ItlbKey, MethodRef>,
+    l2: Option<SetAssocCache<ItlbKey, MethodRef>>,
+    last_hit: ItlbHit,
+}
+
+impl Itlb {
+    /// Creates an ITLB with the given geometry.
+    pub fn new(config: ItlbConfig) -> Self {
+        Itlb {
+            l1: SetAssocCache::new(config.l1),
+            l2: config.l2.map(SetAssocCache::new),
+            last_hit: ItlbHit::Miss,
+        }
+    }
+
+    /// Looks up a key; L2 hits are promoted into L1 (victims demoted).
+    pub fn lookup(&mut self, key: ItlbKey) -> Option<MethodRef> {
+        if let Some(m) = self.l1.lookup(&key) {
+            self.last_hit = ItlbHit::L1;
+            return Some(*m);
+        }
+        if let Some(l2) = &mut self.l2 {
+            if let Some(m) = l2.lookup(&key) {
+                let m = *m;
+                self.last_hit = ItlbHit::L2;
+                if let Some((vk, vv)) = self.l1.fill(key, m) {
+                    l2.fill(vk, vv);
+                }
+                return Some(m);
+            }
+        }
+        self.last_hit = ItlbHit::Miss;
+        None
+    }
+
+    /// Where the most recent lookup hit.
+    pub fn last_hit(&self) -> ItlbHit {
+        self.last_hit
+    }
+
+    /// Installs a resolution after a miss; L1 victims demote to L2.
+    pub fn fill(&mut self, key: ItlbKey, method: MethodRef) {
+        if let Some((vk, vv)) = self.l1.fill(key, method) {
+            if let Some(l2) = &mut self.l2 {
+                l2.fill(vk, vv);
+            }
+        }
+        if let Some(l2) = &mut self.l2 {
+            l2.fill(key, method);
+        }
+    }
+
+    /// Invalidates every cached resolution (required when a method is
+    /// redefined — "no object code need ever be modified", §2.1, but stale
+    /// translations must go).
+    pub fn flush(&mut self) {
+        self.l1.clear();
+        if let Some(l2) = &mut self.l2 {
+            l2.clear();
+        }
+    }
+
+    /// First-level statistics.
+    pub fn l1_stats(&self) -> CacheStats {
+        self.l1.stats()
+    }
+
+    /// Second-level statistics, if a second level exists.
+    pub fn l2_stats(&self) -> Option<CacheStats> {
+        self.l2.as_ref().map(|c| c.stats())
+    }
+
+    /// Resets statistics on both levels (warmup boundary, §5).
+    pub fn reset_stats(&mut self) {
+        self.l1.reset_stats();
+        if let Some(l2) = &mut self.l2 {
+            l2.reset_stats();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use com_isa::PrimOp;
+
+    fn key(op: u16, r: u16) -> ItlbKey {
+        ItlbKey::binary(Opcode(op), ClassId(r), ClassId::SMALL_INT)
+    }
+
+    fn add() -> MethodRef {
+        MethodRef::Primitive(PrimOp::Add)
+    }
+
+    #[test]
+    fn fill_then_hit() {
+        let mut itlb = Itlb::new(ItlbConfig::paper_default().unwrap());
+        assert_eq!(itlb.lookup(key(1, 1)), None);
+        assert_eq!(itlb.last_hit(), ItlbHit::Miss);
+        itlb.fill(key(1, 1), add());
+        assert_eq!(itlb.lookup(key(1, 1)), Some(add()));
+        assert_eq!(itlb.last_hit(), ItlbHit::L1);
+        assert_eq!(itlb.l1_stats().hits, 1);
+    }
+
+    #[test]
+    fn distinct_class_signatures_are_distinct_entries() {
+        let mut itlb = Itlb::new(ItlbConfig::paper_default().unwrap());
+        itlb.fill(key(1, 1), add());
+        assert_eq!(itlb.lookup(key(1, 2)), None, "different receiver class");
+        assert_eq!(
+            itlb.lookup(ItlbKey::unary(Opcode(1), ClassId(1))),
+            None,
+            "different arity signature"
+        );
+    }
+
+    #[test]
+    fn l2_promotes_on_hit() {
+        let cfg = ItlbConfig {
+            l1: CacheConfig::new(2, 2).unwrap(),
+            l2: Some(CacheConfig::new(64, 2).unwrap()),
+        };
+        let mut itlb = Itlb::new(cfg);
+        // Fill three keys: one must be evicted from the tiny L1 into L2.
+        for i in 0..3 {
+            itlb.fill(key(i, 1), add());
+        }
+        let mut l2_hits = 0;
+        for i in 0..3 {
+            match itlb.lookup(key(i, 1)) {
+                Some(_) => {
+                    if itlb.last_hit() == ItlbHit::L2 {
+                        l2_hits += 1;
+                    }
+                }
+                None => panic!("entry {i} lost from both levels"),
+            }
+        }
+        assert!(l2_hits >= 1, "expected at least one L2 promotion");
+    }
+
+    #[test]
+    fn flush_clears_everything() {
+        let mut itlb = Itlb::new(ItlbConfig::paper_default().unwrap());
+        itlb.fill(key(1, 1), add());
+        itlb.flush();
+        assert_eq!(itlb.lookup(key(1, 1)), None);
+    }
+}

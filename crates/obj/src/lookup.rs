@@ -1,0 +1,144 @@
+//! Full method lookup: the costly association the ITLB exists to avoid.
+
+use com_isa::Opcode;
+use com_mem::ClassId;
+
+use crate::{ClassTable, MethodRef};
+
+/// Cost model for one full method lookup, in processor cycles.
+///
+/// The paper does not commit to absolute lookup cycle counts; these defaults
+/// (4 cycles per class level traversed + 8 per hash probe) land full lookup
+/// in the tens of cycles, consistent with the software method caches it
+/// cites (Berkeley, HP). Both knobs are swept in ablation A1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LookupCost {
+    /// Cycles charged per class visited (dictionary setup, superclass load).
+    pub per_class: u64,
+    /// Cycles charged per hash probe within a dictionary.
+    pub per_probe: u64,
+}
+
+impl Default for LookupCost {
+    fn default() -> Self {
+        LookupCost {
+            per_class: 4,
+            per_probe: 8,
+        }
+    }
+}
+
+/// The outcome of a full method lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LookupOutcome {
+    /// The resolved method, or `None` for a does-not-understand condition.
+    pub method: Option<MethodRef>,
+    /// Classes visited walking the superclass chain.
+    pub classes_visited: u32,
+    /// Total hash probes across all dictionaries consulted.
+    pub probes: u32,
+}
+
+impl LookupOutcome {
+    /// Cycles this lookup costs under `cost`.
+    pub fn cost_cycles(&self, cost: LookupCost) -> u64 {
+        self.classes_visited as u64 * cost.per_class + self.probes as u64 * cost.per_probe
+    }
+}
+
+/// Resolves `selector` for a receiver of class `class` by "the standard
+/// technique of method lookup (a step which always occurs in the execution
+/// of Smalltalk)" (§2.1): probe the receiver class's dictionary, then walk
+/// the superclass chain.
+///
+/// Returns the method (if any) together with the work done, so callers can
+/// charge cycles and the ITLB experiments can report how much work the
+/// buffer saves.
+pub fn lookup_method(classes: &ClassTable, class: ClassId, selector: Opcode) -> LookupOutcome {
+    let mut outcome = LookupOutcome {
+        method: None,
+        classes_visited: 0,
+        probes: 0,
+    };
+    let mut cur = Some(class);
+    // Defensive bound: class chains are short; 64 guards against accidental
+    // cycles in a corrupted table.
+    for _ in 0..64 {
+        let Some(c) = cur else { break };
+        let Some(info) = classes.get(c) else { break };
+        outcome.classes_visited += 1;
+        let (m, probes) = info.dict.lookup(selector);
+        outcome.probes += probes;
+        if m.is_some() {
+            outcome.method = m;
+            return outcome;
+        }
+        cur = info.superclass;
+    }
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::install_standard_primitives;
+    use com_isa::PrimOp;
+
+    #[test]
+    fn finds_in_own_dictionary() {
+        let mut t = ClassTable::new();
+        install_standard_primitives(&mut t);
+        let out = lookup_method(&t, ClassId::SMALL_INT, Opcode::ADD);
+        assert_eq!(out.method, Some(MethodRef::Primitive(PrimOp::Add)));
+        assert_eq!(out.classes_visited, 1);
+    }
+
+    #[test]
+    fn inherits_through_superclass_chain() {
+        let mut t = ClassTable::new();
+        install_standard_primitives(&mut t);
+        let a = t.define("A", Some(ClassTable::OBJECT), 0).unwrap();
+        let b = t.define("B", Some(a), 0).unwrap();
+        // `==` lives on Object: B -> A -> Object.
+        let out = lookup_method(&t, b, Opcode::SAME);
+        assert_eq!(out.method, Some(MethodRef::Primitive(PrimOp::Same)));
+        assert_eq!(out.classes_visited, 3);
+        assert!(out.probes >= 3);
+    }
+
+    #[test]
+    fn does_not_understand() {
+        let mut t = ClassTable::new();
+        install_standard_primitives(&mut t);
+        let out = lookup_method(&t, ClassId::ATOM, Opcode::MUL);
+        assert_eq!(out.method, None, "atoms cannot multiply");
+        assert_eq!(out.classes_visited, 2, "Atom then Object");
+    }
+
+    #[test]
+    fn override_shadows_superclass() {
+        let mut t = ClassTable::new();
+        install_standard_primitives(&mut t);
+        let a = t.define("A", Some(ClassTable::OBJECT), 0).unwrap();
+        t.install(a, Opcode::SAME, MethodRef::Primitive(PrimOp::EqVal));
+        let out = lookup_method(&t, a, Opcode::SAME);
+        assert_eq!(out.method, Some(MethodRef::Primitive(PrimOp::EqVal)));
+        assert_eq!(out.classes_visited, 1);
+    }
+
+    #[test]
+    fn cost_model_scales() {
+        let out = LookupOutcome {
+            method: None,
+            classes_visited: 3,
+            probes: 5,
+        };
+        let cost = out.cost_cycles(LookupCost::default());
+        assert_eq!(cost, 3 * 4 + 5 * 8);
+        let custom = out.cost_cycles(LookupCost {
+            per_class: 1,
+            per_probe: 1,
+        });
+        assert_eq!(custom, 8);
+    }
+}

@@ -1,0 +1,80 @@
+//! Method references: the payload of ITLB entries and dictionary slots.
+
+use com_fpa::Fpa;
+use com_isa::PrimOp;
+
+/// A defined (non-primitive) method: a stored code object and its arity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DefinedMethod {
+    /// Base capability of the stored [`com_isa::CodeObject`].
+    pub code: Fpa,
+    /// Number of arguments (receiver counts as argument 1, §4).
+    pub n_args: u8,
+}
+
+/// What an (opcode, classes) pair resolves to.
+///
+/// This mirrors the ITLB entry of §2.1: "A primitive bit describing whether
+/// the method is primitive or defined; and a method field indicating how the
+/// method is to be accomplished. … if the primitive bit is on, the method
+/// field selects the result of a function unit. Otherwise the method field
+/// points to a piece of code defining the method."
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MethodRef {
+    /// The primitive bit is on: the method field selects a function unit.
+    Primitive(PrimOp),
+    /// The primitive bit is off: the method field points to code.
+    Defined(DefinedMethod),
+}
+
+impl MethodRef {
+    /// Whether the primitive bit is set.
+    pub fn is_primitive(&self) -> bool {
+        matches!(self, MethodRef::Primitive(_))
+    }
+
+    /// The function unit selected, if primitive.
+    pub fn as_primitive(&self) -> Option<PrimOp> {
+        match self {
+            MethodRef::Primitive(p) => Some(*p),
+            MethodRef::Defined(_) => None,
+        }
+    }
+
+    /// The defined method, if non-primitive.
+    pub fn as_defined(&self) -> Option<DefinedMethod> {
+        match self {
+            MethodRef::Defined(d) => Some(*d),
+            MethodRef::Primitive(_) => None,
+        }
+    }
+}
+
+impl core::fmt::Display for MethodRef {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            MethodRef::Primitive(p) => write!(f, "prim:{p}"),
+            MethodRef::Defined(d) => write!(f, "code@{}({} args)", d.code, d.n_args),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use com_fpa::{Fpa, FpaFormat};
+
+    #[test]
+    fn primitive_bit() {
+        let p = MethodRef::Primitive(PrimOp::Add);
+        assert!(p.is_primitive());
+        assert_eq!(p.as_primitive(), Some(PrimOp::Add));
+        assert_eq!(p.as_defined(), None);
+
+        let code = Fpa::from_raw(0x40, FpaFormat::COM).unwrap();
+        let d = MethodRef::Defined(DefinedMethod { code, n_args: 2 });
+        assert!(!d.is_primitive());
+        assert_eq!(d.as_defined().unwrap().n_args, 2);
+        assert_eq!(d.as_primitive(), None);
+    }
+}

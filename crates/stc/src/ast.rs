@@ -1,0 +1,121 @@
+//! Abstract syntax of the COM Smalltalk dialect.
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Atom literal `#foo`.
+    Atom(String),
+    /// `true`.
+    True,
+    /// `false`.
+    False,
+    /// `nil`.
+    Nil,
+    /// `self`.
+    SelfRef,
+    /// A variable reference (parameter, temp, instance variable or block
+    /// parameter — resolved during code generation).
+    Var(String),
+    /// A class reference (capitalised identifier naming a class): receiver
+    /// of `new` / `new:`.
+    ClassRef(String),
+    /// Assignment; yields the assigned value.
+    Assign(String, Box<Expr>),
+    /// A message send.
+    Send {
+        /// Receiver expression.
+        recv: Box<Expr>,
+        /// Full selector (`at:put:` style for keywords).
+        selector: String,
+        /// Argument expressions.
+        args: Vec<Expr>,
+    },
+    /// A block literal.
+    Block(Block),
+}
+
+/// A block literal `[ :x | stmts ]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Block {
+    /// Parameter names.
+    pub params: Vec<String>,
+    /// Body statements; the value of the last expression is the block's
+    /// value (or `nil` for an empty block).
+    pub body: Vec<Stmt>,
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// Expression evaluated for effect.
+    Expr(Expr),
+    /// `^expr` — method return.
+    Return(Expr),
+}
+
+/// A method definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MethodDef {
+    /// Full selector.
+    pub selector: String,
+    /// Parameter names (one per keyword part; one for a binary selector;
+    /// none for unary).
+    pub params: Vec<String>,
+    /// Declared temporaries (`| a b |`).
+    pub temps: Vec<String>,
+    /// Body.
+    pub body: Vec<Stmt>,
+}
+
+/// A class definition (or extension of an existing class when `extends`
+/// is absent and the name is already known).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassDef {
+    /// Class name.
+    pub name: String,
+    /// Superclass name (`Object` when omitted on a fresh class; `None`
+    /// also marks extensions of predefined classes such as
+    /// `SmallInteger`).
+    pub superclass: Option<String>,
+    /// Instance variable names (empty for extensions).
+    pub ivars: Vec<String>,
+    /// Methods.
+    pub methods: Vec<MethodDef>,
+}
+
+/// A whole program.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Program {
+    /// Class definitions in source order.
+    pub classes: Vec<ClassDef>,
+}
+
+impl Expr {
+    /// Whether this expression is a block literal (inlinable control-flow
+    /// argument).
+    pub fn as_block(&self) -> Option<&Block> {
+        match self {
+            Expr::Block(b) => Some(b),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_accessor() {
+        let b = Expr::Block(Block {
+            params: vec![],
+            body: vec![],
+        });
+        assert!(b.as_block().is_some());
+        assert!(Expr::Nil.as_block().is_none());
+    }
+}

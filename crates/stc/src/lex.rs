@@ -1,0 +1,332 @@
+//! Lexer for the COM Smalltalk dialect.
+
+use crate::CompileError;
+
+/// One token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// `class`, `extends`, `vars`, `method`, `end`, `self`, `true`,
+    /// `false`, `nil` are produced as identifiers and distinguished in the
+    /// parser; this variant carries all identifiers.
+    Ident(String),
+    /// A keyword-message part: `at:`, `value:`.
+    Keyword(String),
+    /// A binary selector: `+`, `<=`, `~=`, …
+    BinOp(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Atom literal `#foo`.
+    Atom(String),
+    /// `:=`
+    Assign,
+    /// `^`
+    Caret,
+    /// `.`
+    Period,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `|`
+    Bar,
+    /// `:x` block parameter.
+    BlockParam(String),
+}
+
+/// A token with its source offset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub token: Token,
+    /// Byte offset in the source.
+    pub at: usize,
+}
+
+const BINARY_CHARS: &str = "+-*/\\<>=~&@%,";
+
+/// Tokenises `source`. Comments are Smalltalk-style `"…"`.
+///
+/// # Errors
+///
+/// Returns [`CompileError::Lex`] on malformed numbers, unterminated
+/// comments, or stray characters.
+pub fn lex(source: &str) -> Result<Vec<Spanned>, CompileError> {
+    let bytes = source.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let at = i;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => {
+                i += 1;
+            }
+            '"' => {
+                // comment
+                i += 1;
+                while i < bytes.len() && bytes[i] as char != '"' {
+                    i += 1;
+                }
+                if i >= bytes.len() {
+                    return Err(CompileError::Lex {
+                        at,
+                        message: "unterminated comment".into(),
+                    });
+                }
+                i += 1;
+            }
+            '(' => {
+                out.push(Spanned { token: Token::LParen, at });
+                i += 1;
+            }
+            ')' => {
+                out.push(Spanned { token: Token::RParen, at });
+                i += 1;
+            }
+            '[' => {
+                out.push(Spanned { token: Token::LBracket, at });
+                i += 1;
+            }
+            ']' => {
+                out.push(Spanned { token: Token::RBracket, at });
+                i += 1;
+            }
+            '.' => {
+                out.push(Spanned { token: Token::Period, at });
+                i += 1;
+            }
+            '^' => {
+                out.push(Spanned { token: Token::Caret, at });
+                i += 1;
+            }
+            '#' => {
+                i += 1;
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                if start == i {
+                    return Err(CompileError::Lex {
+                        at,
+                        message: "empty atom literal".into(),
+                    });
+                }
+                out.push(Spanned {
+                    token: Token::Atom(source[start..i].to_string()),
+                    at,
+                });
+            }
+            ':' => {
+                // `:=` or a block parameter `:x`
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    out.push(Spanned { token: Token::Assign, at });
+                    i += 2;
+                } else {
+                    i += 1;
+                    let start = i;
+                    while i < bytes.len()
+                        && ((bytes[i] as char).is_alphanumeric() || bytes[i] == b'_')
+                    {
+                        i += 1;
+                    }
+                    if start == i {
+                        return Err(CompileError::Lex {
+                            at,
+                            message: "expected block parameter name after ':'".into(),
+                        });
+                    }
+                    out.push(Spanned {
+                        token: Token::BlockParam(source[start..i].to_string()),
+                        at,
+                    });
+                }
+            }
+            '|' => {
+                out.push(Spanned { token: Token::Bar, at });
+                i += 1;
+            }
+            c if c.is_ascii_digit()
+                || (c == '-'
+                    && i + 1 < bytes.len()
+                    && (bytes[i + 1] as char).is_ascii_digit()
+                    && starts_number_context(&out)) =>
+            {
+                let start = i;
+                if c == '-' {
+                    i += 1;
+                }
+                while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                    i += 1;
+                }
+                let mut is_float = false;
+                if i + 1 < bytes.len()
+                    && bytes[i] == b'.'
+                    && (bytes[i + 1] as char).is_ascii_digit()
+                {
+                    is_float = true;
+                    i += 1;
+                    while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                let text = &source[start..i];
+                let token = if is_float {
+                    Token::Float(text.parse().map_err(|_| CompileError::Lex {
+                        at,
+                        message: format!("bad float literal {text:?}"),
+                    })?)
+                } else {
+                    Token::Int(text.parse().map_err(|_| CompileError::Lex {
+                        at,
+                        message: format!("bad integer literal {text:?}"),
+                    })?)
+                };
+                out.push(Spanned { token, at });
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                // keyword selector part?
+                if i < bytes.len() && bytes[i] == b':' && (i + 1 >= bytes.len() || bytes[i + 1] != b'=')
+                {
+                    i += 1;
+                    out.push(Spanned {
+                        token: Token::Keyword(source[start..i].to_string()),
+                        at,
+                    });
+                } else {
+                    out.push(Spanned {
+                        token: Token::Ident(source[start..i].to_string()),
+                        at,
+                    });
+                }
+            }
+            c if BINARY_CHARS.contains(c) => {
+                let start = i;
+                while i < bytes.len() && BINARY_CHARS.contains(bytes[i] as char) {
+                    i += 1;
+                }
+                out.push(Spanned {
+                    token: Token::BinOp(source[start..i].to_string()),
+                    at,
+                });
+            }
+            other => {
+                return Err(CompileError::Lex {
+                    at,
+                    message: format!("unexpected character {other:?}"),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// A `-` starts a negative literal only where a term may begin (after an
+/// operator, keyword, open paren…), not after an identifier or literal
+/// (where it is the binary minus).
+fn starts_number_context(out: &[Spanned]) -> bool {
+    match out.last().map(|s| &s.token) {
+        None => true,
+        Some(Token::Ident(_))
+        | Some(Token::Int(_))
+        | Some(Token::Float(_))
+        | Some(Token::Atom(_))
+        | Some(Token::RParen)
+        | Some(Token::RBracket) => false,
+        _ => true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Token> {
+        lex(src).unwrap().into_iter().map(|s| s.token).collect()
+    }
+
+    #[test]
+    fn lexes_message_forms() {
+        assert_eq!(
+            toks("a at: 3 put: b"),
+            vec![
+                Token::Ident("a".into()),
+                Token::Keyword("at:".into()),
+                Token::Int(3),
+                Token::Keyword("put:".into()),
+                Token::Ident("b".into()),
+            ]
+        );
+        assert_eq!(
+            toks("x := y + 1.5"),
+            vec![
+                Token::Ident("x".into()),
+                Token::Assign,
+                Token::Ident("y".into()),
+                Token::BinOp("+".into()),
+                Token::Float(1.5),
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_blocks_and_atoms() {
+        assert_eq!(
+            toks("[ :x | x ] #foo"),
+            vec![
+                Token::LBracket,
+                Token::BlockParam("x".into()),
+                Token::Bar,
+                Token::Ident("x".into()),
+                Token::RBracket,
+                Token::Atom("foo".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn negative_literals_vs_minus() {
+        assert_eq!(
+            toks("x - 1"),
+            vec![
+                Token::Ident("x".into()),
+                Token::BinOp("-".into()),
+                Token::Int(1),
+            ]
+        );
+        assert_eq!(toks("( -1 )"), vec![Token::LParen, Token::Int(-1), Token::RParen]);
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(toks("a \"this is a comment\" b").len(), 2);
+        assert!(lex("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn compound_binary_selectors() {
+        assert_eq!(
+            toks("a <= b ~= c"),
+            vec![
+                Token::Ident("a".into()),
+                Token::BinOp("<=".into()),
+                Token::Ident("b".into()),
+                Token::BinOp("~=".into()),
+                Token::Ident("c".into()),
+            ]
+        );
+    }
+}

@@ -1,0 +1,396 @@
+//! Recursive-descent parser.
+//!
+//! Grammar (Smalltalk precedence: unary > binary > keyword):
+//!
+//! ```text
+//! program  := classdef*
+//! classdef := 'class' IDENT ('extends' IDENT)? ('vars' IDENT*)? method* 'end'
+//! method   := 'method' pattern ('|' IDENT* '|')? statements 'end'
+//! pattern  := IDENT | BINOP IDENT | (KEYWORD IDENT)+
+//! stmts    := stmt ('.' stmt)* '.'?
+//! stmt     := '^' expr | expr
+//! expr     := IDENT ':=' expr | keyword
+//! keyword  := binary (KEYWORD binary)*
+//! binary   := unary (BINOP unary)*
+//! unary    := primary IDENT*
+//! primary  := literal | IDENT | '(' expr ')' | block
+//! block    := '[' (BLOCKPARAM* '|')? stmts ']'
+//! ```
+
+use crate::ast::{Block, ClassDef, Expr, MethodDef, Program, Stmt};
+use crate::lex::{lex, Spanned, Token};
+use crate::CompileError;
+
+struct Parser {
+    toks: Vec<Spanned>,
+    pos: usize,
+}
+
+/// Parses a program.
+///
+/// # Errors
+///
+/// Returns [`CompileError::Lex`] or [`CompileError::Parse`].
+pub fn parse(source: &str) -> Result<Program, CompileError> {
+    let toks = lex(source)?;
+    let mut p = Parser { toks, pos: 0 };
+    let mut classes = Vec::new();
+    while !p.at_end() {
+        classes.push(p.class_def()?);
+    }
+    Ok(Program { classes })
+}
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.toks.get(self.pos).map(|s| &s.token)
+    }
+
+    fn here(&self) -> usize {
+        self.toks
+            .get(self.pos)
+            .or_else(|| self.toks.last())
+            .map(|s| s.at)
+            .unwrap_or(0)
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.toks.get(self.pos).map(|s| s.token.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn err(&self, message: impl Into<String>) -> CompileError {
+        CompileError::Parse {
+            at: self.here(),
+            message: message.into(),
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Result<String, CompileError> {
+        match self.bump() {
+            Some(Token::Ident(s)) => Ok(s),
+            other => Err(self.err(format!("expected {what}, found {other:?}"))),
+        }
+    }
+
+    fn eat_keyword_ident(&mut self, word: &str) -> bool {
+        if self.peek() == Some(&Token::Ident(word.to_string())) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn class_def(&mut self) -> Result<ClassDef, CompileError> {
+        if !self.eat_keyword_ident("class") {
+            return Err(self.err("expected 'class'"));
+        }
+        let name = self.expect_ident("class name")?;
+        let superclass = if self.eat_keyword_ident("extends") {
+            Some(self.expect_ident("superclass name")?)
+        } else {
+            None
+        };
+        let mut ivars = Vec::new();
+        if self.eat_keyword_ident("vars") {
+            while let Some(Token::Ident(s)) = self.peek() {
+                if s == "method" || s == "end" {
+                    break;
+                }
+                ivars.push(s.clone());
+                self.pos += 1;
+            }
+        }
+        let mut methods = Vec::new();
+        loop {
+            if self.eat_keyword_ident("end") {
+                break;
+            }
+            if self.eat_keyword_ident("method") {
+                methods.push(self.method_def()?);
+            } else {
+                return Err(self.err("expected 'method' or 'end' in class body"));
+            }
+        }
+        Ok(ClassDef {
+            name,
+            superclass,
+            ivars,
+            methods,
+        })
+    }
+
+    fn method_def(&mut self) -> Result<MethodDef, CompileError> {
+        // Pattern.
+        let (selector, params) = match self.bump() {
+            Some(Token::Ident(name)) => (name, vec![]),
+            Some(Token::BinOp(op)) => {
+                let p = self.expect_ident("binary parameter")?;
+                (op, vec![p])
+            }
+            Some(Token::Keyword(first)) => {
+                let mut sel = first;
+                let mut params = vec![self.expect_ident("keyword parameter")?];
+                while let Some(Token::Keyword(k)) = self.peek() {
+                    sel.push_str(&k.clone());
+                    self.pos += 1;
+                    params.push(self.expect_ident("keyword parameter")?);
+                }
+                (sel, params)
+            }
+            other => return Err(self.err(format!("expected method pattern, found {other:?}"))),
+        };
+        // Temporaries.
+        let mut temps = Vec::new();
+        if self.peek() == Some(&Token::Bar) {
+            self.pos += 1;
+            loop {
+                match self.bump() {
+                    Some(Token::Ident(s)) => temps.push(s),
+                    Some(Token::Bar) => break,
+                    other => {
+                        return Err(self.err(format!("expected temp name or '|', found {other:?}")))
+                    }
+                }
+            }
+        }
+        let body = self.statements(&Token::Ident("end".into()))?;
+        if !self.eat_keyword_ident("end") {
+            return Err(self.err("expected 'end' after method body"));
+        }
+        Ok(MethodDef {
+            selector,
+            params,
+            temps,
+            body,
+        })
+    }
+
+    /// Parses statements until `terminator` (not consumed).
+    fn statements(&mut self, terminator: &Token) -> Result<Vec<Stmt>, CompileError> {
+        let mut out = Vec::new();
+        loop {
+            if self.peek() == Some(terminator) || self.at_end() {
+                break;
+            }
+            let stmt = if self.peek() == Some(&Token::Caret) {
+                self.pos += 1;
+                Stmt::Return(self.expr()?)
+            } else {
+                Stmt::Expr(self.expr()?)
+            };
+            out.push(stmt);
+            if self.peek() == Some(&Token::Period) {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        Ok(out)
+    }
+
+    fn expr(&mut self) -> Result<Expr, CompileError> {
+        // Assignment lookahead: IDENT ':='
+        if let Some(Token::Ident(name)) = self.peek() {
+            if self.toks.get(self.pos + 1).map(|s| &s.token) == Some(&Token::Assign) {
+                let name = name.clone();
+                self.pos += 2;
+                let value = self.expr()?;
+                return Ok(Expr::Assign(name, Box::new(value)));
+            }
+        }
+        self.keyword_expr()
+    }
+
+    fn keyword_expr(&mut self) -> Result<Expr, CompileError> {
+        let recv = self.binary_expr()?;
+        if let Some(Token::Keyword(_)) = self.peek() {
+            let mut selector = String::new();
+            let mut args = Vec::new();
+            while let Some(Token::Keyword(k)) = self.peek() {
+                selector.push_str(&k.clone());
+                self.pos += 1;
+                args.push(self.binary_expr()?);
+            }
+            Ok(Expr::Send {
+                recv: Box::new(recv),
+                selector,
+                args,
+            })
+        } else {
+            Ok(recv)
+        }
+    }
+
+    fn binary_expr(&mut self) -> Result<Expr, CompileError> {
+        let mut left = self.unary_expr()?;
+        while let Some(Token::BinOp(op)) = self.peek() {
+            let op = op.clone();
+            self.pos += 1;
+            let right = self.unary_expr()?;
+            left = Expr::Send {
+                recv: Box::new(left),
+                selector: op,
+                args: vec![right],
+            };
+        }
+        Ok(left)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, CompileError> {
+        let mut recv = self.primary()?;
+        while let Some(Token::Ident(name)) = self.peek() {
+            // Structural keywords never act as unary selectors.
+            if matches!(name.as_str(), "end" | "method" | "class" | "extends" | "vars") {
+                break;
+            }
+            let name = name.clone();
+            self.pos += 1;
+            recv = Expr::Send {
+                recv: Box::new(recv),
+                selector: name,
+                args: vec![],
+            };
+        }
+        Ok(recv)
+    }
+
+    fn primary(&mut self) -> Result<Expr, CompileError> {
+        match self.bump() {
+            Some(Token::Int(i)) => Ok(Expr::Int(i)),
+            Some(Token::Float(x)) => Ok(Expr::Float(x)),
+            Some(Token::Atom(a)) => Ok(Expr::Atom(a)),
+            Some(Token::Ident(name)) => Ok(match name.as_str() {
+                "self" => Expr::SelfRef,
+                "true" => Expr::True,
+                "false" => Expr::False,
+                "nil" => Expr::Nil,
+                _ => {
+                    if name.chars().next().is_some_and(char::is_uppercase) {
+                        Expr::ClassRef(name)
+                    } else {
+                        Expr::Var(name)
+                    }
+                }
+            }),
+            Some(Token::LParen) => {
+                let e = self.expr()?;
+                match self.bump() {
+                    Some(Token::RParen) => Ok(e),
+                    other => Err(self.err(format!("expected ')', found {other:?}"))),
+                }
+            }
+            Some(Token::LBracket) => {
+                let mut params = Vec::new();
+                while let Some(Token::BlockParam(p)) = self.peek() {
+                    params.push(p.clone());
+                    self.pos += 1;
+                }
+                if !params.is_empty() {
+                    match self.bump() {
+                        Some(Token::Bar) => {}
+                        other => {
+                            return Err(
+                                self.err(format!("expected '|' after block params, found {other:?}"))
+                            )
+                        }
+                    }
+                }
+                let body = self.statements(&Token::RBracket)?;
+                match self.bump() {
+                    Some(Token::RBracket) => Ok(Expr::Block(Block { params, body })),
+                    other => Err(self.err(format!("expected ']', found {other:?}"))),
+                }
+            }
+            other => Err(self.err(format!("expected expression, found {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_class_with_methods() {
+        let src = r#"
+            class Point extends Object
+              vars x y
+              method setX: ax y: ay
+                x := ax. y := ay. ^self
+              end
+              method x ^x end
+            end
+        "#;
+        let p = parse(src).unwrap();
+        assert_eq!(p.classes.len(), 1);
+        let c = &p.classes[0];
+        assert_eq!(c.name, "Point");
+        assert_eq!(c.superclass.as_deref(), Some("Object"));
+        assert_eq!(c.ivars, vec!["x", "y"]);
+        assert_eq!(c.methods.len(), 2);
+        assert_eq!(c.methods[0].selector, "setX:y:");
+        assert_eq!(c.methods[0].params, vec!["ax", "ay"]);
+        assert_eq!(c.methods[1].selector, "x");
+    }
+
+    #[test]
+    fn precedence_unary_binary_keyword() {
+        let src = "class T method m ^a foo + b bar at: c baz end end";
+        let p = parse(src).unwrap();
+        let Stmt::Return(e) = &p.classes[0].methods[0].body[0] else {
+            panic!("expected return")
+        };
+        // (a foo + b bar) at: (c baz)
+        let Expr::Send { selector, recv, args } = e else { panic!() };
+        assert_eq!(selector, "at:");
+        let Expr::Send { selector: plus, .. } = recv.as_ref() else { panic!() };
+        assert_eq!(plus, "+");
+        let Expr::Send { selector: baz, .. } = &args[0] else { panic!() };
+        assert_eq!(baz, "baz");
+    }
+
+    #[test]
+    fn parses_blocks_and_temps() {
+        let src = "class T method m | acc | acc := 0. [ :i | acc := acc + i ] value: 3. ^acc end end";
+        let p = parse(src).unwrap();
+        let m = &p.classes[0].methods[0];
+        assert_eq!(m.temps, vec!["acc"]);
+        assert_eq!(m.body.len(), 3);
+    }
+
+    #[test]
+    fn keyword_chains_merge_into_one_selector() {
+        let src = "class T method m ^d at: 1 put: 2 end end";
+        let p = parse(src).unwrap();
+        let Stmt::Return(Expr::Send { selector, args, .. }) = &p.classes[0].methods[0].body[0]
+        else {
+            panic!()
+        };
+        assert_eq!(selector, "at:put:");
+        assert_eq!(args.len(), 2);
+    }
+
+    #[test]
+    fn class_extension_without_extends() {
+        let src = "class SmallInteger method double ^self + self end end";
+        let p = parse(src).unwrap();
+        assert_eq!(p.classes[0].superclass, None);
+        assert!(p.classes[0].ivars.is_empty());
+    }
+
+    #[test]
+    fn errors_are_positioned() {
+        assert!(matches!(
+            parse("class"),
+            Err(CompileError::Parse { .. })
+        ));
+        assert!(parse("class T method m ^1 end").is_err(), "missing class end");
+    }
+}

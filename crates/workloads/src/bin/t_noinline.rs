@@ -1,0 +1,22 @@
+use com_stc::{compile_com, CompileOptions};
+use com_core::{Machine, MachineConfig};
+use com_mem::Word;
+fn t(src: &str, sel: &str, n: i64) {
+    let opts = CompileOptions { inline_control_flow: false, with_stdlib: true };
+    let image = compile_com(src, opts).unwrap();
+    let mut m = Machine::new(MachineConfig::default());
+    m.load(&image).unwrap();
+    match m.send(sel, Word::Int(n), &[], 10_000_000) {
+        Ok(r) => println!("{sel}({n}) = {}", r.result),
+        Err(e) => println!("{sel}({n}) ERR {e}"),
+    }
+}
+fn main() {
+    t("class SmallInteger method m1 | x | x := 0. self > 2 ifTrue: [ x := 10 ] ifFalse: [ x := 20 ]. ^x end end", "m1", 5);
+    t("class SmallInteger method m2 | x | x := 1. self timesRepeat: [ x := x + x ]. ^x end end", "m2", 4);
+    t("class SmallInteger method m3 | t | t := 0. (self = 1) not ifTrue: [ t := t + 7 ]. ^t end end", "m3", 5);
+    // assignment-as-last-expr in arm + discarded conditional value
+    t("class P extends Object vars a method set: k a := k. ^self end method geta ^a end end
+       class SmallInteger method m4 | p | p := P new set: 0. self > 0 ifTrue: [ p set: 9 ]. ^p geta end end", "m4", 3);
+    t(com_workloads::TREES.source, "treeBench", 20);
+}

@@ -1,0 +1,83 @@
+//! The paper's late-binding pitch, §2.1: "in Smalltalk, the quintessential
+//! late binding language, it is easy to define a general sort routine —
+//! one which will even work for lists of datatypes which are not yet
+//! defined."
+//!
+//! One quicksort (from the standard library) sorts integers, floats, a
+//! mixed array, and a user-defined `Money` class the sort has never heard
+//! of — the ITLB keeps the polymorphic `<` sends cheap.
+//!
+//! ```sh
+//! cargo run --example polymorphic_sort
+//! ```
+
+use com_machine::core::{Machine, MachineConfig};
+use com_machine::mem::Word;
+use com_machine::stc::{compile_com, CompileOptions};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let source = r#"
+        "A datatype the library sort was never written for."
+        class Money extends Object
+          vars cents
+          method cents: c cents := c. ^self end
+          method cents ^cents end
+          method < other ^cents < other cents end
+        end
+
+        class SmallInteger
+          method sortInts | a seed |
+            a := self newArray. seed := 99.
+            1 to: self do: [ :i |
+              seed := (seed * 1309 + 13849) \\ 65536.
+              a at: i put: seed ].
+            a sort.
+            a isSorted ifTrue: [ ^1 ]. ^0
+          end
+          method sortMixed | a seed |
+            a := self newArray. seed := 7.
+            1 to: self do: [ :i |
+              seed := (seed * 1309 + 13849) \\ 65536.
+              i even ifTrue: [ a at: i put: seed ]
+                     ifFalse: [ a at: i put: seed * 0.001 ] ].
+            a sort.
+            a isSorted ifTrue: [ ^1 ]. ^0
+          end
+          method sortMoney | a seed m |
+            a := self newArray. seed := 3.
+            1 to: self do: [ :i |
+              seed := (seed * 1309 + 13849) \\ 65536.
+              m := Money new cents: seed.
+              a at: i put: m ].
+            a sort.
+            ^(a at: 1) cents
+          end
+        end
+    "#;
+
+    let image = compile_com(source, CompileOptions::default())?;
+
+    for (entry, what) in [
+        ("sortInts", "300 integers"),
+        ("sortMixed", "300 mixed ints and floats (mixed-mode < is primitive)"),
+        ("sortMoney", "300 Money objects (user-defined <, late bound)"),
+    ] {
+        let mut machine = Machine::new(MachineConfig::default());
+        machine.load(&image)?;
+        let out = machine.send(entry, Word::Int(300), &[], 10_000_000)?;
+        let itlb = machine.itlb_stats().expect("ITLB enabled");
+        println!(
+            "{entry:10} — {what}\n            result {}, {} instructions, ITLB hit {:.2}%, {} full lookups",
+            out.result,
+            out.stats.instructions,
+            itlb.hit_ratio().unwrap_or(0.0) * 100.0,
+            out.stats.full_lookups,
+        );
+    }
+    println!(
+        "\nThe same compiled sort served all three element types; dispatch cost stayed\n\
+         at a handful of compulsory ITLB misses — the §1.1 claim that 'method lookup\n\
+         overhead may be effectively eliminated'."
+    );
+    Ok(())
+}

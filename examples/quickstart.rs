@@ -1,0 +1,52 @@
+//! Quickstart: compile a method, run it on the COM, inspect the machine.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use com_machine::core::{Machine, MachineConfig};
+use com_machine::mem::Word;
+use com_machine::stc::{compile_com, CompileOptions};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A method on SmallInteger: iterative factorial using the standard
+    // library's control flow.
+    let source = r#"
+        class SmallInteger
+          method factorial | acc |
+            acc := 1.
+            1 to: self do: [ :i | acc := acc * i ].
+            ^acc
+          end
+        end
+    "#;
+
+    let image = compile_com(source, CompileOptions::default())?;
+    let mut machine = Machine::new(MachineConfig::default());
+    machine.load(&image)?;
+
+    let out = machine.send("factorial", Word::Int(12), &[], 1_000_000)?;
+    println!("12 factorial = {}", out.result);
+    assert_eq!(out.result, Word::Int(479_001_600));
+
+    let s = out.stats;
+    println!(
+        "\nexecuted {} instructions in {} cycles (CPI {:.2})",
+        s.instructions,
+        s.total_cycles(),
+        s.cpi().unwrap_or(f64::NAN)
+    );
+    println!(
+        "method calls: {}, returns: {}, contexts allocated: {}, freed LIFO: {}",
+        s.calls, s.returns, s.contexts_allocated, s.contexts_freed_lifo
+    );
+    if let Some(itlb) = machine.itlb_stats() {
+        println!(
+            "ITLB: {} lookups, {:.2}% hit — only {} full method lookups were ever needed",
+            itlb.accesses(),
+            itlb.hit_ratio().unwrap_or(0.0) * 100.0,
+            s.full_lookups
+        );
+    }
+    Ok(())
+}
