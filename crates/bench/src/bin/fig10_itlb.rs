@@ -18,8 +18,8 @@ fn main() {
     );
     let sizes = [8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096];
     let ways = [1, 2, 4, 8];
-    let rows = sweep(&trace, &sizes, &ways, 0.2, |e| (e.opcode, e.tos_class))
-        .expect("valid geometries");
+    let rows =
+        sweep(&trace, &sizes, &ways, 0.2, |e| (e.opcode, e.tos_class)).expect("valid geometries");
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -45,6 +45,10 @@ fn main() {
     println!(
         "\npaper: 99% at 512 entries 2-way; measured: {:.2}% -> {}",
         r512_2 * 100.0,
-        if r512_2 >= 0.99 { "REPRODUCED" } else { "CHECK" }
+        if r512_2 >= 0.99 {
+            "REPRODUCED"
+        } else {
+            "CHECK"
+        }
     );
 }

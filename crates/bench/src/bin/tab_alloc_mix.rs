@@ -59,7 +59,10 @@ fn main() {
     // GC burden with vs without eager LIFO freeing: run the closure-heavy
     // workload with a forced GC interval and compare collector work.
     let mut rows = Vec::new();
-    for (label, eager) in [("eager LIFO free (paper)", true), ("all contexts to GC", false)] {
+    for (label, eager) in [
+        ("eager LIFO free (paper)", true),
+        ("all contexts to GC", false),
+    ] {
         let mut cfg = MachineConfig {
             gc_interval: Some(20_000),
             ..MachineConfig::default()
@@ -80,7 +83,14 @@ fn main() {
     }
     print_table(
         "GC burden: eager LIFO freeing vs collector-only (closures workload)",
-        &["mode", "gc runs", "gc cycles", "freed LIFO", "left to GC", "CPI"],
+        &[
+            "mode",
+            "gc runs",
+            "gc cycles",
+            "freed LIFO",
+            "left to GC",
+            "CPI",
+        ],
         &rows,
     );
     println!("\npaper: explicit LIFO freeing eliminates most context GC work -> gc cycles should drop sharply with eager freeing");

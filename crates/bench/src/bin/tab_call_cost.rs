@@ -15,8 +15,13 @@ fn run_call(three_operand_form: bool) -> com_core::CycleStats {
     let mut img = ProgramImage::empty();
     let sel = img.opcodes.intern("noop:");
     let mut asm = Assembler::new("SmallInteger>>noop:", 2);
-    asm.emit_three_ret(Opcode::MOVE, Operand::Cur(0), Operand::Cur(1), Operand::Cur(1))
-        .unwrap();
+    asm.emit_three_ret(
+        Opcode::MOVE,
+        Operand::Cur(0),
+        Operand::Cur(1),
+        Operand::Cur(1),
+    )
+    .unwrap();
     img.add_method(ClassId::SMALL_INT, sel, asm.finish().unwrap());
 
     // A wrapper whose body performs the send in the requested form.
@@ -28,22 +33,43 @@ fn run_call(three_operand_form: bool) -> com_core::CycleStats {
             .unwrap();
     } else {
         // Zero-operand send: arguments placed manually (§3.5).
-        asm.emit_three(Opcode::MOVEA, Operand::Next(0), Operand::Cur(3), Operand::Cur(3))
-            .unwrap();
-        asm.emit_three(Opcode::MOVE, Operand::Next(1), Operand::Cur(1), Operand::Cur(1))
-            .unwrap();
-        asm.emit_three(Opcode::MOVE, Operand::Next(2), Operand::Cur(2), Operand::Cur(2))
-            .unwrap();
+        asm.emit_three(
+            Opcode::MOVEA,
+            Operand::Next(0),
+            Operand::Cur(3),
+            Operand::Cur(3),
+        )
+        .unwrap();
+        asm.emit_three(
+            Opcode::MOVE,
+            Operand::Next(1),
+            Operand::Cur(1),
+            Operand::Cur(1),
+        )
+        .unwrap();
+        asm.emit_three(
+            Opcode::MOVE,
+            Operand::Next(2),
+            Operand::Cur(2),
+            Operand::Cur(2),
+        )
+        .unwrap();
         asm.emit(com_isa::Instr::zero(sel, 2, false).unwrap());
     }
-    asm.emit_three_ret(Opcode::MOVE, Operand::Cur(0), Operand::Cur(3), Operand::Cur(3))
-        .unwrap();
+    asm.emit_three_ret(
+        Opcode::MOVE,
+        Operand::Cur(0),
+        Operand::Cur(3),
+        Operand::Cur(3),
+    )
+    .unwrap();
     img.add_method(ClassId::SMALL_INT, wrapper, asm.finish().unwrap());
 
     let mut m = Machine::new(MachineConfig::default());
     m.load(&img).unwrap();
     let before_send = m.stats();
-    m.send("wrap:", Word::Int(1), &[Word::Int(2)], 10_000).unwrap();
+    m.send("wrap:", Word::Int(1), &[Word::Int(2)], 10_000)
+        .unwrap();
     m.stats().since(&before_send)
 }
 
@@ -73,7 +99,13 @@ fn main() {
     ];
     print_table(
         "Call cost decomposition",
-        &["form", "calls", "linkage cycles", "operand-copy cycles", "returns"],
+        &[
+            "form",
+            "calls",
+            "linkage cycles",
+            "operand-copy cycles",
+            "returns",
+        ],
         &rows,
     );
     // Paper arithmetic: every call charges 2 base (instruction) + 1 flush +
@@ -81,7 +113,11 @@ fn main() {
     let per_call_zero = 2.0 + zero.call_linkage_cycles as f64 / zero.calls as f64;
     println!(
         "\nzero-operand call: {per_call_zero} cycles/call (paper: 4) -> {}",
-        if (per_call_zero - 4.0).abs() < 1e-9 { "REPRODUCED" } else { "CHECK" }
+        if (per_call_zero - 4.0).abs() < 1e-9 {
+            "REPRODUCED"
+        } else {
+            "CHECK"
+        }
     );
     let copies = three.operand_copy_cycles - zero.operand_copy_cycles;
     println!(

@@ -33,16 +33,22 @@ fn main() {
     }
     print_table(
         "Context cache: faults vs block count (calls workload)",
-        &["blocks", "copyback", "faults", "copybacks", "fault cycles", "CPI"],
+        &[
+            "blocks",
+            "copyback",
+            "faults",
+            "copybacks",
+            "fault cycles",
+            "CPI",
+        ],
         &rows,
     );
 
     // A2: context cache on vs off across all workloads.
     let mut rows = Vec::new();
     for w in workloads::all() {
-        let (with_cc, m1) =
-            workloads::run_com(&w, MachineConfig::default(), workloads::MAX_STEPS)
-                .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        let (with_cc, m1) = workloads::run_com(&w, MachineConfig::default(), workloads::MAX_STEPS)
+            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
         let (no_cc, _) = workloads::run_com(
             &w,
             MachineConfig::default().without_context_cache(),
@@ -50,8 +56,7 @@ fn main() {
         )
         .unwrap_or_else(|e| panic!("{}: {e}", w.name));
         let cc = m1.ctx_cache_stats().expect("enabled");
-        let miss_ratio = cc.faults as f64
-            / (cc.reads + cc.writes).max(1) as f64;
+        let miss_ratio = cc.faults as f64 / (cc.reads + cc.writes).max(1) as f64;
         rows.push(vec![
             w.name.to_string(),
             format!("{}", cc.reads + cc.writes),

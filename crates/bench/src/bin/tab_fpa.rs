@@ -7,26 +7,44 @@
 //! segments up to 2^31 words.
 
 use com_bench::print_table;
-use com_fpa::{
-    AddressScheme, FixedFormat, FpaFormat, NamingOutcome,
-};
-use rand::{rngs::StdRng, Rng, SeedableRng};
+use com_fpa::{AddressScheme, FixedFormat, FpaFormat, NamingOutcome};
+
+/// Deterministic splitmix64 generator (no external dependencies).
+struct Rng64(u64);
+
+impl Rng64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn unit(&mut self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.next() % (hi - lo + 1)
+    }
+}
 
 fn scheme_rows(schemes: &mut [(&str, Box<dyn AddressScheme>)]) -> Vec<Vec<String>> {
     // A Smalltalk-flavoured object mix: mostly tiny objects, occasional
     // large images (the paper's image-processing motivation).
-    let mut rng = StdRng::seed_from_u64(1985);
+    let mut rng = Rng64(1985);
     let mut sizes = Vec::new();
     for _ in 0..400_000 {
-        let r: f64 = rng.gen();
+        let r: f64 = rng.unit();
         let words: u64 = if r < 0.80 {
-            rng.gen_range(1..=8) // tiny: points, pairs, cons cells
+            rng.range(1, 8) // tiny: points, pairs, cons cells
         } else if r < 0.97 {
-            rng.gen_range(9..=64) // small: contexts, small arrays
+            rng.range(9, 64) // small: contexts, small arrays
         } else if r < 0.999 {
-            rng.gen_range(65..=4096) // medium collections
+            rng.range(65, 4096) // medium collections
         } else {
-            rng.gen_range(1 << 18..=1 << 22) // images
+            rng.range(1 << 18, 1 << 22) // images
         };
         sizes.push(words);
     }
@@ -90,10 +108,7 @@ fn main() {
     );
 
     let mut schemes: Vec<(&str, Box<dyn AddressScheme>)> = vec![
-        (
-            "fixed 18/18",
-            Box::new(com_fpa::FixedScheme::new(multics)),
-        ),
+        ("fixed 18/18", Box::new(com_fpa::FixedScheme::new(multics))),
         (
             "fixed 12/24",
             Box::new(com_fpa::FixedScheme::new(
@@ -111,7 +126,13 @@ fn main() {
     let rows = scheme_rows(&mut schemes);
     print_table(
         "Naming 400,000 objects (80% tiny / 17% small / 3% medium / 0.1% image)",
-        &["scheme", "named", "out of names", "too large", "naming slack"],
+        &[
+            "scheme",
+            "named",
+            "out of names",
+            "too large",
+            "naming slack",
+        ],
         &rows,
     );
     println!(

@@ -20,8 +20,8 @@ fn main() {
     for w in workloads::portable() {
         let (com, _) = workloads::run_com(&w, MachineConfig::default(), workloads::MAX_STEPS)
             .unwrap_or_else(|e| panic!("{}: {e}", w.name));
-        let (fith, _) =
-            workloads::run_fith(&w, workloads::MAX_STEPS).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        let (fith, _) = workloads::run_fith(&w, workloads::MAX_STEPS)
+            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
         assert_eq!(com.result, fith.result, "{} disagreement", w.name);
         let ratio = fith.stats.instructions as f64 / com.stats.instructions as f64;
         let cycle_ratio = fith.stats.cycles as f64 / com.stats.total_cycles() as f64;
@@ -54,6 +54,10 @@ fn main() {
     println!(
         "\nmean instruction ratio (stack / three-address): {:.2}x (paper: ~2x) -> {}",
         mean,
-        if (1.5..=3.0).contains(&mean) { "REPRODUCED" } else { "CHECK" }
+        if (1.5..=3.0).contains(&mean) {
+            "REPRODUCED"
+        } else {
+            "CHECK"
+        }
     );
 }

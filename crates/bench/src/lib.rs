@@ -4,6 +4,8 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod interp;
+
 use com_trace::Trace;
 use com_workloads as workloads;
 
@@ -64,7 +66,10 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
         }
         s
     };
-    println!("{}", line(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>()));
+    println!(
+        "{}",
+        line(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    );
     let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
     println!("{}", line(&sep));
     for row in rows {

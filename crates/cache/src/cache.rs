@@ -2,7 +2,7 @@
 
 use std::hash::{DefaultHasher, Hash, Hasher};
 
-use crate::{CacheConfig, CacheStats, Replacement};
+use crate::{CacheConfig, CacheStats, FxHasher, HashKind, Replacement};
 
 /// One line of a set.
 #[derive(Debug, Clone)]
@@ -100,11 +100,18 @@ impl<K: Hash + Eq + Clone, V> SetAssocCache<K, V> {
     fn set_index(&self, key: &K) -> usize {
         let h = match self.indexer {
             Some(f) => f(key),
-            None => {
-                let mut hasher = DefaultHasher::new();
-                key.hash(&mut hasher);
-                hasher.finish()
-            }
+            None => match self.config.hash_kind() {
+                HashKind::Sip => {
+                    let mut hasher = DefaultHasher::new();
+                    key.hash(&mut hasher);
+                    hasher.finish()
+                }
+                HashKind::Fx => {
+                    let mut hasher = FxHasher::default();
+                    key.hash(&mut hasher);
+                    hasher.finish()
+                }
+            },
         };
         (h % self.config.sets() as u64) as usize
     }
@@ -128,7 +135,10 @@ impl<K: Hash + Eq + Clone, V> SetAssocCache<K, V> {
     /// Non-recording, non-mutating probe (for diagnostics and tests).
     pub fn peek(&self, key: &K) -> Option<&V> {
         let set = self.set_index(key);
-        self.sets[set].iter().find(|l| l.key == *key).map(|l| &l.value)
+        self.sets[set]
+            .iter()
+            .find(|l| l.key == *key)
+            .map(|l| &l.value)
     }
 
     /// Inserts `key → value`, evicting per policy if the set is full.
@@ -290,8 +300,7 @@ mod tests {
     #[test]
     fn direct_mapped_conflicts() {
         // 2 sets, 1 way, address-bit indexing: keys 0 and 2 collide.
-        let mut c: SetAssocCache<u64, u64> =
-            SetAssocCache::with_indexer(cfg(2, 1), |k| *k);
+        let mut c: SetAssocCache<u64, u64> = SetAssocCache::with_indexer(cfg(2, 1), |k| *k);
         c.fill(0, 100);
         c.fill(2, 102);
         assert_eq!(c.peek(&0), None, "0 evicted by conflicting 2");
@@ -355,14 +364,19 @@ mod tests {
     fn geometry_error_is_reported() {
         assert_eq!(
             CacheConfig::new(6, 4).unwrap_err(),
-            CacheError::BadGeometry { entries: 6, ways: 4 }
+            CacheError::BadGeometry {
+                entries: 6,
+                ways: 4
+            }
         );
     }
 
     #[test]
     fn random_policy_is_deterministic() {
         let build = || {
-            let cfgr = cfg(2, 2).with_replacement(Replacement::Random).with_seed(42);
+            let cfgr = cfg(2, 2)
+                .with_replacement(Replacement::Random)
+                .with_seed(42);
             let mut c: SetAssocCache<u64, ()> = SetAssocCache::new(cfgr);
             for k in 0..100 {
                 c.fill(k, ());

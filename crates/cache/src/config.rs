@@ -43,6 +43,23 @@ pub struct CacheConfig {
     ways: usize,
     replacement: Replacement,
     seed: u64,
+    hash: HashKind,
+}
+
+/// Which hash indexes keys to sets in [`SetAssocCache`](crate::SetAssocCache).
+///
+/// `Sip` (the standard library's SipHash) is the historical default and is
+/// kept for reproducibility of recorded figures. `Fx` is a multiply-xor
+/// hash that is an order of magnitude cheaper per lookup; set mappings (and
+/// therefore conflict-miss patterns) differ between the two, so a given
+/// cache must pick one and stay with it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum HashKind {
+    /// SipHash via [`std::hash::DefaultHasher`].
+    #[default]
+    Sip,
+    /// Multiply-xor fast hash ([`crate::FxHasher`]).
+    Fx,
 }
 
 impl CacheConfig {
@@ -53,7 +70,7 @@ impl CacheConfig {
     /// Returns [`CacheError::BadGeometry`] when `entries` is zero, `ways` is
     /// zero, or `ways` does not divide `entries`.
     pub fn new(entries: usize, ways: usize) -> Result<Self, CacheError> {
-        if entries == 0 || ways == 0 || entries % ways != 0 {
+        if entries == 0 || ways == 0 || !entries.is_multiple_of(ways) {
             return Err(CacheError::BadGeometry { entries, ways });
         }
         Ok(CacheConfig {
@@ -61,6 +78,7 @@ impl CacheConfig {
             ways,
             replacement: Replacement::Lru,
             seed: 0x9E37_79B9_7F4A_7C15,
+            hash: HashKind::Sip,
         })
     }
 
@@ -83,6 +101,17 @@ impl CacheConfig {
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed.max(1);
         self
+    }
+
+    /// Switches set indexing to the fast multiply-xor hash.
+    pub fn with_fast_hash(mut self) -> Self {
+        self.hash = HashKind::Fx;
+        self
+    }
+
+    /// The set-indexing hash.
+    pub fn hash_kind(self) -> HashKind {
+        self.hash
     }
 
     /// Total number of lines.
@@ -113,11 +142,7 @@ impl CacheConfig {
 
 impl core::fmt::Display for CacheConfig {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        write!(
-            f,
-            "{}x{}-way {}",
-            self.entries, self.ways, self.replacement
-        )
+        write!(f, "{}x{}-way {}", self.entries, self.ways, self.replacement)
     }
 }
 

@@ -34,7 +34,10 @@ mod tests {
 
     #[test]
     fn message_mentions_fields() {
-        let e = CacheError::BadGeometry { entries: 10, ways: 4 };
+        let e = CacheError::BadGeometry {
+            entries: 10,
+            ways: 4,
+        };
         assert!(e.to_string().contains("10"));
         assert!(e.to_string().contains("4"));
     }

@@ -34,14 +34,20 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod addrset;
 mod cache;
 mod config;
 mod error;
+mod flat;
+mod fxhash;
 mod hierarchy;
 mod stats;
 
+pub use addrset::AddrSet;
 pub use cache::SetAssocCache;
-pub use config::{CacheConfig, Replacement};
+pub use config::{CacheConfig, HashKind, Replacement};
 pub use error::CacheError;
+pub use flat::FlatCache;
+pub use fxhash::{FxBuildHasher, FxHasher};
 pub use hierarchy::{AccessOutcome, LevelSpec, MemoryHierarchy};
 pub use stats::CacheStats;

@@ -23,6 +23,16 @@ pub struct MachineConfig {
     /// Instruction cache geometry; `None` disables it (every fetch pays the
     /// miss penalty).
     pub icache: Option<CacheConfig>,
+    /// Use the legacy generic cache as icache storage (the pre-overhaul
+    /// simulator structure). Access-for-access identical to the flat
+    /// probe array used by default (both index by `addr % sets`) — the
+    /// wall-clock bench baseline opts in.
+    pub icache_reference: bool,
+    /// Route method residency, the copyback low-water check and the
+    /// context-directory probe through the pre-overhaul data paths
+    /// (translation + SipHash map per call/return, per-step block scans).
+    /// Architecturally identical; only simulator wall-clock differs.
+    pub reference_interpreter: bool,
     /// Number of context cache blocks; `None` disables the context cache
     /// (ablation A2: contexts live in plain memory).
     pub ctx_blocks: Option<usize>,
@@ -57,6 +67,8 @@ impl Default for MachineConfig {
             space_log2: 26,
             itlb: Some(ItlbConfig::paper_default().expect("paper geometry is valid")),
             icache: Some(CacheConfig::new(4096, 2).expect("paper geometry is valid")),
+            icache_reference: false,
+            reference_interpreter: false,
             ctx_blocks: Some(32),
             copyback: true,
             copyback_low_water: 2,
@@ -101,6 +113,24 @@ impl MachineConfig {
         self.eager_lifo_free = false;
         self
     }
+
+    /// The pre-overhaul interpreter's simulator structures: legacy
+    /// map-backed ITLB storage, the legacy generic icache, and the
+    /// pre-overhaul residency/memory paths. Pair with
+    /// [`Machine::run_stepwise`](crate::Machine::run_stepwise) to measure
+    /// the pre-overhaul interpreter (the `BENCH_interp.json` baseline).
+    /// The reference ITLB storage hashes keys to sets differently, so on
+    /// a working set with set conflicts the simulated lookup work may
+    /// diverge from the default machine — the bench harness asserts the
+    /// full `CycleStats` matched for every workload it reports.
+    pub fn reference_interpreter(mut self) -> Self {
+        if let Some(itlb) = self.itlb {
+            self.itlb = Some(itlb.with_reference_storage());
+        }
+        self.icache_reference = true;
+        self.reference_interpreter = true;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -122,7 +152,9 @@ mod tests {
 
     #[test]
     fn ablation_builders() {
-        let c = MachineConfig::paper().without_itlb().without_context_cache();
+        let c = MachineConfig::paper()
+            .without_itlb()
+            .without_context_cache();
         assert!(c.itlb.is_none());
         assert!(c.ctx_blocks.is_none());
         let c = MachineConfig::paper().with_ctx_blocks(8);

@@ -45,17 +45,40 @@ struct Block {
     /// Directory entry: the absolute base address of the cached context,
     /// or `None` when the block is in the free vector.
     abs: Option<AbsAddr>,
-    /// 32 words, each with its cached class tag.
-    words: Vec<(Word, ClassId)>,
+    /// 32 words, each with its cached class tag — a fixed inline array,
+    /// so the per-instruction operand accesses do not chase a heap
+    /// pointer per block.
+    words: [(Word, ClassId); CONTEXT_WORDS as usize],
+    /// Bit `i` set ⇒ word `i` has been written since the last block clear.
+    /// The single-operation clear (§2.3) then re-initialises only those
+    /// words instead of storing all 32.
+    written: u32,
     dirty: bool,
     last_used: u64,
 }
 
 impl Block {
+    const CLEAR: [(Word, ClassId); CONTEXT_WORDS as usize] =
+        [(Word::Uninit, ClassId::UNINIT); CONTEXT_WORDS as usize];
+
+    /// The §2.3 single-operation block clear: only words actually written
+    /// since the previous clear are re-initialised.
+    #[inline]
+    fn clear_words(&mut self) {
+        let mut m = self.written;
+        while m != 0 {
+            let i = m.trailing_zeros() as usize;
+            self.words[i] = (Word::Uninit, ClassId::UNINIT);
+            m &= m - 1;
+        }
+        self.written = 0;
+    }
+
     fn empty() -> Self {
         Block {
             abs: None,
-            words: vec![(Word::Uninit, ClassId::UNINIT); CONTEXT_WORDS as usize],
+            words: Self::CLEAR,
+            written: 0,
             dirty: false,
             last_used: 0,
         }
@@ -66,9 +89,24 @@ impl Block {
 /// owns the memory); the cache owns residency, the access vectors and LRU.
 #[derive(Debug)]
 pub struct ContextCache {
+    /// Pre-overhaul allocation order: scan the block array for the first
+    /// free block instead of popping the free stack (bench baseline).
+    reference: bool,
     blocks: Vec<Block>,
     current: Option<usize>,
     next: Option<usize>,
+    /// The free vector as a stack of block indices: allocation pops,
+    /// release pushes — no scan. Its length is the free count the
+    /// per-instruction copyback low-water check reads.
+    free_stack: Vec<usize>,
+    /// The match vector's associative directory: compact `(absolute base,
+    /// block index)` pairs, maintained on every residency change. A probe
+    /// (which happens on every indirect context access — notably every
+    /// returning instruction's result store) scans at most `blocks`
+    /// contiguous words instead of walking the ~800-byte blocks
+    /// themselves, and maintenance is push/swap-remove — cheaper than a
+    /// hash map at context-cache sizes.
+    directory: Vec<(u64, u32)>,
     clock: u64,
     stats: CtxCacheStats,
 }
@@ -94,12 +132,20 @@ impl ContextCache {
     pub fn new(blocks: usize) -> Self {
         assert!(blocks >= 3, "context cache needs at least 3 blocks");
         ContextCache {
+            reference: false,
             blocks: (0..blocks).map(|_| Block::empty()).collect(),
             current: None,
             next: None,
+            free_stack: (0..blocks).rev().collect(),
+            directory: Vec::with_capacity(blocks),
             clock: 0,
             stats: CtxCacheStats::default(),
         }
+    }
+
+    /// Selects pre-overhaul block-allocation order (first-free scan).
+    pub fn set_reference_paths(&mut self, reference: bool) {
+        self.reference = reference;
     }
 
     /// Counter snapshot.
@@ -114,7 +160,11 @@ impl ContextCache {
 
     /// Number of blocks in the free vector.
     pub fn free_count(&self) -> usize {
-        self.blocks.iter().filter(|b| b.abs.is_none()).count()
+        debug_assert_eq!(
+            self.free_stack.len(),
+            self.blocks.iter().filter(|b| b.abs.is_none()).count()
+        );
+        self.free_stack.len()
     }
 
     /// Absolute bases of all resident contexts (for GC pinning).
@@ -122,6 +172,7 @@ impl ContextCache {
         self.blocks.iter().filter_map(|b| b.abs).collect()
     }
 
+    #[inline]
     fn tick(&mut self) -> u64 {
         self.clock += 1;
         self.clock
@@ -130,7 +181,7 @@ impl ContextCache {
     /// Directory lookup (the match vector): the block caching `abs`, if any.
     pub fn find(&mut self, abs: AbsAddr) -> Option<usize> {
         self.stats.directory_lookups += 1;
-        let hit = self.blocks.iter().position(|b| b.abs == Some(abs));
+        let hit = self.peek_find(abs);
         if hit.is_some() {
             self.stats.directory_hits += 1;
         }
@@ -138,14 +189,56 @@ impl ContextCache {
     }
 
     /// Non-recording directory probe.
+    #[inline]
     pub fn peek_find(&self, abs: AbsAddr) -> Option<usize> {
-        self.blocks.iter().position(|b| b.abs == Some(abs))
+        let hit = self
+            .directory
+            .iter()
+            .find(|(a, _)| *a == abs.0)
+            .map(|(_, i)| *i as usize);
+        debug_assert_eq!(hit, self.blocks.iter().position(|b| b.abs == Some(abs)));
+        hit
+    }
+
+    fn directory_insert(&mut self, abs: AbsAddr, block: usize) {
+        debug_assert!(self.directory.iter().all(|(a, _)| *a != abs.0));
+        self.directory.push((abs.0, block as u32));
+    }
+
+    fn directory_remove(&mut self, abs: AbsAddr) {
+        if let Some(i) = self.directory.iter().position(|(a, _)| *a == abs.0) {
+            self.directory.swap_remove(i);
+        }
+    }
+
+    /// Directory lookup through the pre-overhaul linear scan of the block
+    /// array (the reference-interpreter baseline). Same result and stats
+    /// as [`find`](Self::find); only the simulator-side cost differs.
+    pub fn find_reference(&mut self, abs: AbsAddr) -> Option<usize> {
+        self.stats.directory_lookups += 1;
+        let hit = self.blocks.iter().position(|b| b.abs == Some(abs));
+        if hit.is_some() {
+            self.stats.directory_hits += 1;
+        }
+        hit
+    }
+
+    /// The free count by the pre-overhaul scan (reference baseline).
+    pub fn free_count_reference(&self) -> usize {
+        self.blocks.iter().filter(|b| b.abs.is_none()).count()
     }
 
     /// Picks a victim block: a free one if available, else the LRU block
     /// that is neither current nor next. Returns `(index, eviction)`.
     fn victim(&mut self) -> (usize, Option<Eviction>) {
-        if let Some(i) = self.blocks.iter().position(|b| b.abs.is_none()) {
+        if self.reference {
+            // Pre-overhaul order: first free block by scan.
+            if let Some(i) = self.blocks.iter().position(|b| b.abs.is_none()) {
+                self.free_stack.retain(|&f| f != i);
+                return (i, None);
+            }
+        } else if let Some(i) = self.free_stack.pop() {
+            // The caller occupies the block immediately.
             return (i, None);
         }
         let i = self
@@ -159,11 +252,12 @@ impl ContextCache {
         let b = &mut self.blocks[i];
         let ev = Eviction {
             abs: b.abs.expect("occupied"),
-            words: b.words.clone(),
+            words: b.words.to_vec(),
             dirty: b.dirty,
         };
         b.abs = None;
         b.dirty = false;
+        self.directory_remove(ev.abs);
         (i, Some(ev))
     }
 
@@ -178,9 +272,11 @@ impl ContextCache {
         self.stats.faults += 1;
         let clock = self.tick();
         let (i, ev) = self.victim();
+        self.directory_insert(abs, i);
         let b = &mut self.blocks[i];
         b.abs = Some(abs);
-        b.words = words;
+        b.words.copy_from_slice(&words);
+        b.written = u32::MAX;
         b.dirty = false;
         b.last_used = clock;
         (i, ev)
@@ -194,11 +290,10 @@ impl ContextCache {
         self.stats.clears += 1;
         let clock = self.tick();
         let (i, ev) = self.victim();
+        self.directory_insert(abs, i);
         let b = &mut self.blocks[i];
         b.abs = Some(abs);
-        for w in &mut b.words {
-            *w = (Word::Uninit, ClassId::UNINIT);
-        }
+        b.clear_words();
         // The cleared block is dirty by construction: memory still holds
         // stale words until copyback.
         b.dirty = true;
@@ -233,6 +328,7 @@ impl ContextCache {
     ///
     /// Panics on an out-of-range offset; operand fields cannot express one
     /// beyond 63 and contexts are 32 words, so this is a machine bug.
+    #[inline(always)]
     pub fn read(&mut self, block: usize, off: u64) -> (Word, ClassId) {
         let clock = self.tick();
         self.stats.reads += 1;
@@ -242,18 +338,63 @@ impl ContextCache {
     }
 
     /// Writes word `off` of `block` with its class tag.
+    #[inline(always)]
     pub fn write(&mut self, block: usize, off: u64, word: Word, class: ClassId) {
         let clock = self.tick();
         self.stats.writes += 1;
         let b = &mut self.blocks[block];
         b.last_used = clock;
         b.words[off as usize] = (word, class);
+        b.written |= 1 << off;
         b.dirty = true;
     }
 
     /// The absolute base the block caches.
+    #[inline]
     pub fn block_abs(&self, block: usize) -> Option<AbsAddr> {
-        self.blocks[block].abs
+        self.blocks.get(block).and_then(|b| b.abs)
+    }
+
+    /// Releases `block` directly (caller already knows the block index —
+    /// the validated fast path of [`release`](Self::release)).
+    #[inline]
+    pub fn release_block(&mut self, block: usize) {
+        let Some(abs) = self.blocks[block].abs else {
+            return;
+        };
+        self.stats.releases += 1;
+        self.free_stack.push(block);
+        self.directory_remove(abs);
+        self.blocks[block].abs = None;
+        self.blocks[block].dirty = false;
+        if self.current == Some(block) {
+            self.current = None;
+        }
+        if self.next == Some(block) {
+            self.next = None;
+        }
+    }
+
+    /// Writes the three §3.5 linkage words (arg0, arg1, arg2) of `block`
+    /// in one directory-bypassing access: one recency update, three word
+    /// writes, three counted references.
+    #[inline]
+    pub fn write_linkage(
+        &mut self,
+        block: usize,
+        arg0: (Word, ClassId),
+        arg1: (Word, ClassId),
+        arg2: (Word, ClassId),
+    ) {
+        let clock = self.tick();
+        self.stats.writes += 3;
+        let b = &mut self.blocks[block];
+        b.last_used = clock;
+        b.words[crate::CTX_ARG0 as usize] = arg0;
+        b.words[crate::CTX_ARG1 as usize] = arg1;
+        b.words[crate::CTX_ARG1 as usize + 1] = arg2;
+        b.written |= (1 << crate::CTX_ARG0) | (0b11 << crate::CTX_ARG1);
+        b.dirty = true;
     }
 
     /// Releases a block to the free vector *without* write-back (used when
@@ -261,6 +402,8 @@ impl ContextCache {
     pub fn release(&mut self, abs: AbsAddr) {
         if let Some(i) = self.peek_find(abs) {
             self.stats.releases += 1;
+            self.free_stack.push(i);
+            self.directory_remove(abs);
             self.blocks[i].abs = None;
             self.blocks[i].dirty = false;
             if self.current == Some(i) {
@@ -279,9 +422,7 @@ impl ContextCache {
         self.stats.clears += 1;
         let clock = self.tick();
         let b = &mut self.blocks[block];
-        for w in &mut b.words {
-            *w = (Word::Uninit, ClassId::UNINIT);
-        }
+        b.clear_words();
         b.dirty = true;
         b.last_used = clock;
         self.next = Some(block);
@@ -303,19 +444,19 @@ impl ContextCache {
             .blocks
             .iter()
             .enumerate()
-            .filter(|(i, b)| {
-                b.abs.is_some() && Some(*i) != self.current && Some(*i) != self.next
-            })
+            .filter(|(i, b)| b.abs.is_some() && Some(*i) != self.current && Some(*i) != self.next)
             .min_by_key(|(_, b)| b.last_used)
             .map(|(i, _)| i)?;
         self.stats.copybacks += 1;
+        self.free_stack.push(i);
         let b = &mut self.blocks[i];
         let ev = Eviction {
             abs: b.abs.take().expect("filtered on occupied"),
-            words: b.words.clone(),
+            words: b.words.to_vec(),
             dirty: b.dirty,
         };
         b.dirty = false;
+        self.directory_remove(ev.abs);
         Some(ev)
     }
 
@@ -328,7 +469,7 @@ impl ContextCache {
                 if let Some(abs) = b.abs {
                     out.push(Eviction {
                         abs,
-                        words: b.words.clone(),
+                        words: b.words.to_vec(),
                         dirty: true,
                     });
                     b.dirty = false;

@@ -38,9 +38,7 @@ pub fn data_op(prim: PrimOp, opcode: Opcode, b: Word, c: Word) -> Result<Word, M
             _ => Err(bad("negate requires a number")),
         },
         PrimOp::Carry => match (b, c) {
-            (Word::Int(x), Word::Int(y)) => {
-                Ok(Word::Int(i64::from(x.checked_add(y).is_none())))
-            }
+            (Word::Int(x), Word::Int(y)) => Ok(Word::Int(i64::from(x.checked_add(y).is_none()))),
             _ => Err(bad("carry requires small integers")),
         },
         PrimOp::Mult1 => match (b, c) {
@@ -48,9 +46,7 @@ pub fn data_op(prim: PrimOp, opcode: Opcode, b: Word, c: Word) -> Result<Word, M
             _ => Err(bad("mult1 requires small integers")),
         },
         PrimOp::Mult2 => match (b, c) {
-            (Word::Int(x), Word::Int(y)) => {
-                Ok(Word::Int(((x as i128 * y as i128) >> 64) as i64))
-            }
+            (Word::Int(x), Word::Int(y)) => Ok(Word::Int(((x as i128 * y as i128) >> 64) as i64)),
             _ => Err(bad("mult2 requires small integers")),
         },
         PrimOp::Shift => match (b, c) {
@@ -250,7 +246,10 @@ mod tests {
 
     #[test]
     fn multiple_precision_support() {
-        assert_eq!(op(PrimOp::Carry, Word::Int(i64::MAX), Word::Int(1)), Word::Int(1));
+        assert_eq!(
+            op(PrimOp::Carry, Word::Int(i64::MAX), Word::Int(1)),
+            Word::Int(1)
+        );
         assert_eq!(op(PrimOp::Carry, Word::Int(1), Word::Int(1)), Word::Int(0));
         assert_eq!(
             op(PrimOp::Mult1, Word::Int(1 << 40), Word::Int(1 << 30)),
@@ -265,36 +264,69 @@ mod tests {
     #[test]
     fn shifts_and_bitfields() {
         assert_eq!(op(PrimOp::Shift, Word::Int(1), Word::Int(4)), Word::Int(16));
-        assert_eq!(op(PrimOp::Shift, Word::Int(16), Word::Int(-4)), Word::Int(1));
-        assert_eq!(op(PrimOp::AShift, Word::Int(-16), Word::Int(-2)), Word::Int(-4));
+        assert_eq!(
+            op(PrimOp::Shift, Word::Int(16), Word::Int(-4)),
+            Word::Int(1)
+        );
+        assert_eq!(
+            op(PrimOp::AShift, Word::Int(-16), Word::Int(-2)),
+            Word::Int(-4)
+        );
         assert_eq!(
             op(PrimOp::Rotate, Word::Int(0x8000_0000), Word::Int(1)),
             Word::Int(1)
         );
-        assert_eq!(op(PrimOp::Mask, Word::Int(0xABCD), Word::Int(8)), Word::Int(0xCD));
-        assert_eq!(op(PrimOp::And, Word::Int(0b1100), Word::Int(0b1010)), Word::Int(0b1000));
-        assert_eq!(op(PrimOp::Or, Word::Int(0b1100), Word::Int(0b1010)), Word::Int(0b1110));
-        assert_eq!(op(PrimOp::Xor, Word::Int(0b1100), Word::Int(0b1010)), Word::Int(0b0110));
+        assert_eq!(
+            op(PrimOp::Mask, Word::Int(0xABCD), Word::Int(8)),
+            Word::Int(0xCD)
+        );
+        assert_eq!(
+            op(PrimOp::And, Word::Int(0b1100), Word::Int(0b1010)),
+            Word::Int(0b1000)
+        );
+        assert_eq!(
+            op(PrimOp::Or, Word::Int(0b1100), Word::Int(0b1010)),
+            Word::Int(0b1110)
+        );
+        assert_eq!(
+            op(PrimOp::Xor, Word::Int(0b1100), Word::Int(0b1010)),
+            Word::Int(0b0110)
+        );
         assert_eq!(op(PrimOp::Not, Word::Int(0), Word::Int(0)), Word::Int(-1));
     }
 
     #[test]
     fn comparisons() {
         assert_eq!(op(PrimOp::Lt, Word::Int(1), Word::Int(2)), Word::from(true));
-        assert_eq!(op(PrimOp::Ge, Word::Int(1), Word::Int(2)), Word::from(false));
+        assert_eq!(
+            op(PrimOp::Ge, Word::Int(1), Word::Int(2)),
+            Word::from(false)
+        );
         assert_eq!(
             op(PrimOp::Le, Word::Float(1.5), Word::Int(2)),
             Word::from(true)
         );
-        assert_eq!(op(PrimOp::EqVal, Word::Int(2), Word::Float(2.0)), Word::from(true));
-        assert_eq!(op(PrimOp::NeVal, Word::Int(2), Word::Int(2)), Word::from(false));
+        assert_eq!(
+            op(PrimOp::EqVal, Word::Int(2), Word::Float(2.0)),
+            Word::from(true)
+        );
+        assert_eq!(
+            op(PrimOp::NeVal, Word::Int(2), Word::Int(2)),
+            Word::from(false)
+        );
     }
 
     #[test]
     fn identity_is_bit_equality() {
-        assert_eq!(op(PrimOp::Same, Word::Int(2), Word::Int(2)), Word::from(true));
+        assert_eq!(
+            op(PrimOp::Same, Word::Int(2), Word::Int(2)),
+            Word::from(true)
+        );
         // Int 2 and Float 2.0 are equal values but not the same object.
-        assert_eq!(op(PrimOp::Same, Word::Int(2), Word::Float(2.0)), Word::from(false));
+        assert_eq!(
+            op(PrimOp::Same, Word::Int(2), Word::Float(2.0)),
+            Word::from(false)
+        );
         let a = Word::Atom(AtomId(4));
         assert_eq!(op(PrimOp::Same, a, a), Word::from(true));
     }

@@ -35,8 +35,8 @@ mod pipeline;
 mod trap;
 
 pub use config::MachineConfig;
-pub use exec::data_op;
 pub use ctxcache::{ContextCache, CtxCacheStats};
+pub use exec::data_op;
 pub use image::{MethodSource, ProgramImage};
 pub use machine::{Machine, RunResult};
 pub use pipeline::CycleStats;

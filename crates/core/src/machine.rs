@@ -1,27 +1,222 @@
 //! The COM machine: registers, interpretation loop, traps.
+//!
+//! # Architectural statistics vs. wall-clock speed
+//!
+//! The machine keeps two notions of time that must never be confused:
+//!
+//! * **Architectural cycles** ([`CycleStats`], the cache hit/miss counters)
+//!   model the *hardware the paper describes*. They are semantics: every
+//!   optimisation of this simulator must leave them bit-identical on a
+//!   given program. The regression tests in `tests/interp_fastpath.rs`
+//!   enforce this by running the same workload through both interpreter
+//!   loops.
+//! * **Wall-clock speed** is how fast the simulator itself executes. The
+//!   hot loop is free to change shape for wall-clock speed — and does:
+//!   [`Machine::run`] is a *threaded* loop that borrows the current
+//!   decoded method across the inner loop, re-fetching it only on
+//!   call/return/xfer, resolves operands from their decode-time lowered
+//!   form ([`LowOperand`]: context-slot offsets pre-biased, constants
+//!   pre-fetched), dispatches through the direct-mapped ITLB probe array,
+//!   and batches the per-instruction counters into loop-locals that are
+//!   flushed at run end, trap, or control transfer.
+//!
+//! [`Machine::step`] (and [`Machine::run_stepwise`], which drives it) is
+//! the reference interpreter: one instruction per call with every
+//! invariant re-established from machine state, exactly as the
+//! pre-overhaul loop did. It is the baseline the bench pipeline
+//! (`BENCH_interp.json`) measures the threaded loop against, and the
+//! oracle the differential tests compare it to.
+
+// The hot paths repeatedly need one field of `self` (a context register)
+// while `self.cc` is known-present; `if self.cc.is_some()` + a later
+// `expect` keeps those borrows disjoint where `if let` could not.
+#![allow(clippy::unnecessary_unwrap)]
 
 use std::collections::{HashMap, HashSet};
+
 use std::rc::Rc;
 
-use com_cache::{CacheStats, SetAssocCache};
+use com_cache::{AddrSet, CacheStats, FxBuildHasher, SetAssocCache};
 use com_fpa::{Fpa, SegmentName};
 use com_isa::{CodeObject, Instr, Opcode, OpcodeTable, Operand, PrimOp};
 use com_mem::{gc, AbsAddr, AllocKind, ClassId, MemError, ObjectSpace, TeamId, Word};
-use com_obj::{lookup_method, AtomTable, ClassTable, Itlb, ItlbKey, MethodRef};
+use com_obj::{lookup_method, AtomTable, ClassTable, DefinedMethod, Itlb, ItlbKey, MethodRef};
 
 use crate::{
-    CtxCacheStats, ContextCache, CycleStats, MachineConfig, MachineError, ProgramImage,
+    ContextCache, CtxCacheStats, CycleStats, MachineConfig, MachineError, ProgramImage,
     CONTEXT_WORDS, CTX_ARG0, CTX_ARG1, CTX_RCP, CTX_RIP, OPERAND_BIAS,
 };
 
+/// An operand in its decode-time lowered form: context-mode operands carry
+/// their final (bias-applied) context word offset, constant-mode operands
+/// are pre-resolved to the value and class they will always produce. The
+/// per-step translation work of [`Operand`] — mode match, bias add,
+/// constant-table index — happens once, at decode.
+#[derive(Debug, Clone, Copy)]
+enum LowOperand {
+    /// Current-context slot (raw context word offset, bias applied).
+    Cur(u64),
+    /// Next-context slot (raw context word offset, bias applied).
+    Next(u64),
+    /// Constant, resolved against the method's constant table at decode.
+    Imm(Word, ClassId),
+    /// Constant index beyond the method's table. Kept as a lowered form —
+    /// not a decode error — because the reference interpreter only traps
+    /// this if the instruction actually executes.
+    BadConst,
+}
+
+/// A context-slot hazard source: (reads next context?, raw word offset).
+type HazardSrc = Option<(bool, u64)>;
+
+/// One instruction with its operands pre-lowered (§3.6 fast path).
+#[derive(Debug, Clone, Copy)]
+struct LowInstr {
+    /// The original instruction (generic execution paths match on it).
+    instr: Instr,
+    /// Lowered A operand (three-address form only) — the destination, or
+    /// the result-pointer slot when the return bit is set.
+    a: LowOperand,
+    /// Lowered B source (three-address form only).
+    b: LowOperand,
+    /// Lowered C source (three-address form only).
+    c: LowOperand,
+    /// Destination slot for the pure-data fast path: present when the
+    /// instruction is three-address, does not return, and writes a
+    /// context slot. `(next context?, raw word offset)`.
+    dest: Option<(bool, u64)>,
+    /// The context-mode source slots, for the §3.6 read-after-write hazard
+    /// check: an O(1) compare of precomputed slots against the previous
+    /// instruction's destination.
+    hazards: [HazardSrc; 2],
+}
+
+impl LowInstr {
+    fn lower_src(op: Operand, consts: &[(Word, ClassId)]) -> LowOperand {
+        match op {
+            Operand::Cur(o) => LowOperand::Cur(o as u64 + OPERAND_BIAS),
+            Operand::Next(o) => LowOperand::Next(o as u64 + OPERAND_BIAS),
+            Operand::Const(i) => match consts.get(i as usize) {
+                Some((w, c)) => LowOperand::Imm(*w, *c),
+                None => LowOperand::BadConst,
+            },
+        }
+    }
+
+    fn hazard_src(op: Operand) -> HazardSrc {
+        match op {
+            Operand::Cur(o) => Some((false, o as u64 + OPERAND_BIAS)),
+            Operand::Next(o) => Some((true, o as u64 + OPERAND_BIAS)),
+            Operand::Const(_) => None,
+        }
+    }
+
+    fn lower(instr: Instr, consts: &[(Word, ClassId)]) -> LowInstr {
+        match instr {
+            Instr::Three { op, ret, a, b, c } => LowInstr {
+                instr,
+                a: Self::lower_src(a, consts),
+                b: Self::lower_src(b, consts),
+                c: Self::lower_src(c, consts),
+                dest: if ret || op == Opcode::FJMP || op == Opcode::RJMP || op == Opcode::ATPUT {
+                    None
+                } else {
+                    match a {
+                        Operand::Cur(o) => Some((false, o as u64 + OPERAND_BIAS)),
+                        Operand::Next(o) => Some((true, o as u64 + OPERAND_BIAS)),
+                        Operand::Const(_) => None,
+                    }
+                },
+                hazards: [Self::hazard_src(b), Self::hazard_src(c)],
+            },
+            Instr::Zero { nargs, .. } => LowInstr {
+                instr,
+                a: LowOperand::Imm(Word::Uninit, ClassId::NONE),
+                b: LowOperand::Imm(Word::Uninit, ClassId::NONE),
+                c: LowOperand::Imm(Word::Uninit, ClassId::NONE),
+                dest: None,
+                // Implicit operands arg1, arg2 of the next context.
+                hazards: [
+                    if nargs >= 1 {
+                        Some((true, 1 + OPERAND_BIAS))
+                    } else {
+                        None
+                    },
+                    if nargs >= 2 {
+                        Some((true, 2 + OPERAND_BIAS))
+                    } else {
+                        None
+                    },
+                ],
+            },
+        }
+    }
+}
+
 /// A decoded, resident method (simulator-side cache; the architectural
-/// instruction cache is modelled separately for timing).
+/// instruction cache is modelled separately for timing). Entries live in
+/// the machine's decoded-method slab and are reached from an ITLB hit by
+/// array index (the small integer carried in [`DefinedMethod::slab`]).
 #[derive(Debug)]
 struct Decoded {
-    instrs: Vec<Instr>,
+    /// Base capability of the stored code object.
+    base: Fpa,
+    /// Its absolute base (code objects are GC roots and the collector is
+    /// non-moving, so this stays valid for the machine's lifetime).
+    abs: AbsAddr,
     consts: Vec<(Word, ClassId)>,
+    /// The instruction stream in decode-time lowered form; the original
+    /// [`Instr`] rides along in each entry for the generic paths.
+    low: Vec<LowInstr>,
     #[allow(dead_code)]
     n_args: u8,
+}
+
+/// Instruction-cache storage: the flat probe array, or the legacy generic
+/// cache (the pre-overhaul structure, kept for the bench baseline). The two
+/// are access-for-access identical in hits/misses/evictions.
+#[derive(Debug)]
+enum Icache {
+    Fast(AddrSet),
+    Reference(SetAssocCache<u64, ()>),
+}
+
+impl Icache {
+    #[inline]
+    fn probe(&mut self, addr: u64) -> bool {
+        match self {
+            Icache::Fast(c) => {
+                if c.lookup(addr) {
+                    true
+                } else {
+                    c.fill(addr);
+                    false
+                }
+            }
+            Icache::Reference(c) => {
+                if c.lookup(&addr).is_some() {
+                    true
+                } else {
+                    c.fill(addr, ());
+                    false
+                }
+            }
+        }
+    }
+
+    fn stats(&self) -> CacheStats {
+        match self {
+            Icache::Fast(c) => c.stats(),
+            Icache::Reference(c) => c.stats(),
+        }
+    }
+
+    fn reset_stats(&mut self) {
+        match self {
+            Icache::Fast(c) => c.reset_stats(),
+            Icache::Reference(c) => c.reset_stats(),
+        }
+    }
 }
 
 /// A context register: virtual address plus its pretranslated absolute base
@@ -33,6 +228,17 @@ struct CtxReg {
     abs: AbsAddr,
     /// Context cache block index, when the context cache is enabled.
     block: Option<usize>,
+}
+
+/// One memoized frame of the dynamic call chain (see `Machine::shadow`).
+#[derive(Debug, Clone, Copy)]
+struct ShadowFrame {
+    /// The caller's context register at call time.
+    reg: CtxReg,
+    /// The continuation stored into the caller's RIP slot.
+    rip: Fpa,
+    /// Decoded-slab slot of the caller's method.
+    slab: u32,
 }
 
 /// The outcome of a completed run.
@@ -73,15 +279,28 @@ pub struct RunResult {
 #[derive(Debug)]
 pub struct Machine {
     config: MachineConfig,
+    /// Mirror of [`MachineConfig::reference_interpreter`]: route method
+    /// residency, the copyback check, and context-directory probes through
+    /// the pre-overhaul data paths (the wall-clock bench baseline).
+    reference: bool,
     space: ObjectSpace,
     team: TeamId,
     classes: ClassTable,
     atoms: AtomTable,
     opcodes: OpcodeTable,
     itlb: Option<Itlb>,
-    icache: Option<SetAssocCache<u64, ()>>,
+    icache: Option<Icache>,
     cc: Option<ContextCache>,
-    methods: HashMap<u64, Rc<Decoded>>,
+    /// Decoded-method slab: a resident-method hit is one array index.
+    decoded: Vec<Rc<Decoded>>,
+    /// Cold-path index (code virtual base → slab slot), consulted only
+    /// when a dictionary entry has not been resolved to a slab slot yet
+    /// (and on shadow-miss returns, to re-enter the caller's method).
+    decoded_index: HashMap<u64, u32, FxBuildHasher>,
+    /// The pre-overhaul residency index (translated absolute base, SipHash
+    /// map), used instead of the slab fast paths when
+    /// [`MachineConfig::reference_interpreter`] is set.
+    methods_reference: HashMap<u64, u32>,
     code_roots: Vec<Fpa>,
     context_class: ClassId,
     cp: Option<CtxReg>,
@@ -91,9 +310,24 @@ pub struct Machine {
     free_list: Vec<CtxReg>,
     /// Segments of contexts whose pointers escaped into heap objects —
     /// non-LIFO contexts that must be left to the garbage collector.
-    escaped: HashSet<SegmentName>,
+    escaped: HashSet<SegmentName, FxBuildHasher>,
+    /// Simulator-side memo of the dynamic call chain: the caller's context
+    /// register, continuation, and decoded-method slot are pushed at call
+    /// and popped at return, so a LIFO return reuses the pretranslated
+    /// caller base and re-enters the caller's method by slab index instead
+    /// of re-translating. Purely an acceleration: entries are validated
+    /// against the RCP/RIP actually read from the context, and the stack
+    /// is discarded on any non-LIFO control flow (xfer, mismatch) and on
+    /// GC (segment names can be recycled after a sweep).
+    shadow: Vec<ShadowFrame>,
+    /// Slab slot of the method `ip` currently points into.
+    cur_slab: u32,
     /// Current method: base capability, absolute base, program counter.
     ip: Option<(Fpa, AbsAddr, Rc<Decoded>)>,
+    /// Bumped on every control transfer (call/return/xfer/entry). The
+    /// threaded loop snapshots this to know when its borrowed decoded
+    /// method is stale and must be re-fetched.
+    ip_gen: u64,
     pc: u64,
     privileged: bool,
     result_cell: Option<Fpa>,
@@ -106,32 +340,49 @@ pub struct Machine {
 impl Machine {
     /// Creates a machine with standard primitives installed and one team.
     pub fn new(config: MachineConfig) -> Self {
-        let space = ObjectSpace::new(config.space_log2, config.format);
+        let mut space = ObjectSpace::new(config.space_log2, config.format);
+        if config.reference_interpreter {
+            space.set_reference_paths(true);
+        }
         let mut classes = ClassTable::new();
         com_obj::install_standard_primitives(&mut classes);
         let context_class = classes
             .define("Context", Some(ClassTable::OBJECT), 0)
             .expect("fresh table");
         Machine {
+            reference: config.reference_interpreter,
             itlb: config.itlb.map(Itlb::new),
-            icache: config
-                .icache
-                .map(|c| SetAssocCache::with_indexer(c, |k| *k)),
-            cc: config.ctx_blocks.map(ContextCache::new),
+            icache: config.icache.map(|c| {
+                if config.icache_reference {
+                    Icache::Reference(SetAssocCache::with_indexer(c, |k| *k))
+                } else {
+                    Icache::Fast(AddrSet::new(c))
+                }
+            }),
+            cc: config.ctx_blocks.map(|b| {
+                let mut cc = ContextCache::new(b);
+                cc.set_reference_paths(config.reference_interpreter);
+                cc
+            }),
             config,
             space,
             team: TeamId(0),
             classes,
             atoms: AtomTable::new(),
             opcodes: OpcodeTable::new(),
-            methods: HashMap::new(),
+            decoded: Vec::new(),
+            decoded_index: HashMap::default(),
+            methods_reference: HashMap::new(),
             code_roots: Vec::new(),
             context_class,
             cp: None,
             ncp: None,
             free_list: Vec::new(),
-            escaped: HashSet::new(),
+            escaped: HashSet::default(),
+            shadow: Vec::new(),
+            cur_slab: DefinedMethod::UNRESOLVED,
             ip: None,
+            ip_gen: 0,
             pc: 0,
             privileged: false,
             result_cell: None,
@@ -166,12 +417,16 @@ impl Machine {
             self.classes.install(
                 m.class,
                 m.selector,
-                MethodRef::Defined(com_obj::DefinedMethod {
-                    code: base,
-                    n_args: m.code.n_args,
-                }),
+                MethodRef::Defined(DefinedMethod::new(base, m.code.n_args)),
             );
         }
+        // Loading an image invalidates every decoded method: slab slots
+        // cached in the ITLB would otherwise dangle into the old program.
+        self.decoded.clear();
+        self.decoded_index.clear();
+        self.methods_reference.clear();
+        self.shadow.clear();
+        self.cur_slab = DefinedMethod::UNRESOLVED;
         if let Some(itlb) = &mut self.itlb {
             itlb.flush();
         }
@@ -225,7 +480,7 @@ impl Machine {
 
     /// Instruction cache statistics, if configured.
     pub fn icache_stats(&self) -> Option<CacheStats> {
-        self.icache.as_ref().map(|c| c.stats())
+        self.icache.as_ref().map(Icache::stats)
     }
 
     /// Context cache statistics, if configured.
@@ -275,31 +530,40 @@ impl Machine {
     // Context access
     // ------------------------------------------------------------------
 
+    #[inline]
     fn ctx_reg(&self, next: bool) -> Result<CtxReg, MachineError> {
         let r = if next { self.ncp } else { self.cp };
         r.ok_or(MachineError::NoContext)
     }
 
+    #[inline(always)]
     fn ctx_read_raw(&mut self, next: bool, off: u64) -> Result<(Word, ClassId), MachineError> {
-        let reg = self.ctx_reg(next)?;
         if off >= CONTEXT_WORDS {
             return Err(MachineError::BadOperands {
                 opcode: Opcode::MOVE,
                 reason: "context offset beyond 32 words",
             });
         }
-        if let Some(cc) = &mut self.cc {
-            let block = reg.block.expect("vector contexts are resident");
-            Ok(cc.read(block, off))
+        // Touch only the fields the chosen path needs — copying the whole
+        // register out costs more than the cached read itself.
+        if self.cc.is_some() {
+            let reg = if next { &self.ncp } else { &self.cp };
+            let block = match reg {
+                Some(r) => r.block.expect("vector contexts are resident"),
+                None => return Err(MachineError::NoContext),
+            };
+            Ok(self.cc.as_mut().expect("checked").read(block, off))
         } else {
-            let w = self
-                .space
-                .read_kind(self.team, reg.fpa.with_offset(off)?, AllocKind::Context)?;
+            let reg = self.ctx_reg(next)?;
+            let w =
+                self.space
+                    .read_kind(self.team, reg.fpa.with_offset(off)?, AllocKind::Context)?;
             let c = self.class_of_word(&w)?;
             Ok((w, c))
         }
     }
 
+    #[inline(always)]
     fn ctx_write_raw(
         &mut self,
         next: bool,
@@ -307,18 +571,25 @@ impl Machine {
         w: Word,
         class: ClassId,
     ) -> Result<(), MachineError> {
-        let reg = self.ctx_reg(next)?;
         if off >= CONTEXT_WORDS {
             return Err(MachineError::BadOperands {
                 opcode: Opcode::MOVE,
                 reason: "context offset beyond 32 words",
             });
         }
-        if let Some(cc) = &mut self.cc {
-            let block = reg.block.expect("vector contexts are resident");
-            cc.write(block, off, w, class);
+        if self.cc.is_some() {
+            let reg = if next { &self.ncp } else { &self.cp };
+            let block = match reg {
+                Some(r) => r.block.expect("vector contexts are resident"),
+                None => return Err(MachineError::NoContext),
+            };
+            self.cc
+                .as_mut()
+                .expect("checked")
+                .write(block, off, w, class);
             Ok(())
         } else {
+            let reg = self.ctx_reg(next)?;
             self.space
                 .write_kind(self.team, reg.fpa.with_offset(off)?, w, AllocKind::Context)?;
             Ok(())
@@ -326,6 +597,7 @@ impl Machine {
     }
 
     /// Reads an operand-space context slot (bias applied).
+    #[inline]
     fn ctx_read(&mut self, next: bool, op_off: u64) -> Result<(Word, ClassId), MachineError> {
         self.ctx_read_raw(next, op_off + OPERAND_BIAS)
     }
@@ -389,7 +661,12 @@ impl Machine {
         };
         if self.cc.is_some() && kind == AllocKind::Context {
             let base = AbsAddr(t.abs.0 & !(CONTEXT_WORDS - 1));
-            let hit = self.cc.as_mut().expect("checked").find(base);
+            let cc = self.cc.as_mut().expect("checked");
+            let hit = if self.reference {
+                cc.find_reference(base)
+            } else {
+                cc.find(base)
+            };
             if let Some(block) = hit {
                 let off = t.abs.0 & (CONTEXT_WORDS - 1);
                 return Ok(self.cc.as_mut().expect("checked").read(block, off));
@@ -419,15 +696,58 @@ impl Machine {
         };
         if self.cc.is_some() && target_is_context {
             let base = AbsAddr(t.abs.0 & !(CONTEXT_WORDS - 1));
-            let hit = self.cc.as_mut().expect("checked").find(base);
+            let cc = self.cc.as_mut().expect("checked");
+            let hit = if self.reference {
+                cc.find_reference(base)
+            } else {
+                cc.find(base)
+            };
             if let Some(block) = hit {
                 let off = t.abs.0 & (CONTEXT_WORDS - 1);
-                self.cc.as_mut().expect("checked").write(block, off, w, class);
+                self.cc
+                    .as_mut()
+                    .expect("checked")
+                    .write(block, off, w, class);
                 return Ok(());
             }
         }
         self.space.write_abs(t.abs, w, kind)?;
         Ok(())
+    }
+
+    /// Stores a method result through its result pointer. The common case
+    /// — a LIFO return storing into the *caller's* context — is resolved
+    /// against the shadow stack's pretranslated base instead of paying a
+    /// translation; anything else (heap result cells, rewritten pointers,
+    /// the reference baseline) takes the general coherent write.
+    fn store_result(&mut self, p: Fpa, value: Word, class: ClassId) -> Result<(), MachineError> {
+        if !self.reference {
+            if let Some(frame) = self.shadow.last() {
+                let seg = frame.reg.fpa.segment();
+                if p.segment() == seg && p.offset() < CONTEXT_WORDS {
+                    // Alignment invariant: context bases are multiples of
+                    // the segment capacity, so OR equals ADD.
+                    let abs = AbsAddr(frame.reg.abs.0 | p.offset());
+                    // Mirror of `mem_write`'s context-target path (the
+                    // target is a context, so no escape marking applies).
+                    if self.cc.is_some() {
+                        let base = AbsAddr(abs.0 & !(CONTEXT_WORDS - 1));
+                        let hit = self.cc.as_mut().expect("checked").find(base);
+                        if let Some(block) = hit {
+                            let off = abs.0 & (CONTEXT_WORDS - 1);
+                            self.cc
+                                .as_mut()
+                                .expect("checked")
+                                .write(block, off, value, class);
+                            return Ok(());
+                        }
+                    }
+                    self.space.write_abs(abs, value, AllocKind::Context)?;
+                    return Ok(());
+                }
+            }
+        }
+        self.mem_write(p, value, class)
     }
 
     // ------------------------------------------------------------------
@@ -509,12 +829,23 @@ impl Machine {
             return Ok(());
         }
         let low = self.config.copyback_low_water;
+        let reference = self.reference;
         loop {
-            let Some(cc) = &mut self.cc else { return Ok(()) };
-            if !cc.needs_copyback(low) {
+            let Some(cc) = &mut self.cc else {
+                return Ok(());
+            };
+            let free = if reference {
+                // The pre-overhaul low-water check scanned the block array.
+                cc.free_count_reference()
+            } else {
+                cc.free_count()
+            };
+            if free > low {
                 return Ok(());
             }
-            let Some(ev) = cc.copyback_victim() else { return Ok(()) };
+            let Some(ev) = cc.copyback_victim() else {
+                return Ok(());
+            };
             // Victim blocks may belong to CP/NCP ancestors; fix block links.
             self.write_back(Some(ev))?;
         }
@@ -524,12 +855,17 @@ impl Machine {
     // Method residency
     // ------------------------------------------------------------------
 
-    fn load_method(&mut self, code: Fpa) -> Result<(Fpa, AbsAddr, Rc<Decoded>), MachineError> {
+    /// Decodes `code` into the slab (or finds it already there) and returns
+    /// its slot. The hash probe here is the *cold* path: dispatch caches
+    /// the returned slot in the ITLB, so a warm send never reaches this.
+    fn ensure_decoded(&mut self, code: Fpa) -> Result<u32, MachineError> {
         let base = code.base();
-        let t = self.space.translate(self.team, base)?;
-        if let Some(d) = self.methods.get(&t.abs.0) {
-            return Ok((base, t.abs, Rc::clone(d)));
+        // Keyed on the virtual name, not the absolute base: a warm return
+        // re-enters the caller's method without a translation.
+        if let Some(&id) = self.decoded_index.get(&base.raw()) {
+            return Ok(id);
         }
+        let t = self.space.translate(self.team, base)?;
         let n_instrs = self
             .space
             .read_kind(self.team, base, AllocKind::Code)?
@@ -565,13 +901,55 @@ impl Machine {
             let c = self.class_of_word(&w)?;
             consts.push((w, c));
         }
+        let low = instrs
+            .iter()
+            .map(|i| LowInstr::lower(*i, &consts))
+            .collect();
         let d = Rc::new(Decoded {
-            instrs,
+            base,
+            abs: t.abs,
             consts,
+            low,
             n_args,
         });
-        self.methods.insert(t.abs.0, Rc::clone(&d));
-        Ok((base, t.abs, d))
+        let id = u32::try_from(self.decoded.len()).expect("slab outgrew u32");
+        self.decoded.push(d);
+        self.decoded_index.insert(base.raw(), id);
+        Ok(id)
+    }
+
+    /// The decoded method at slab slot `id`.
+    #[inline]
+    fn slab_entry(&self, id: u32) -> (Fpa, AbsAddr, Rc<Decoded>) {
+        let d = &self.decoded[id as usize];
+        (d.base, d.abs, Rc::clone(d))
+    }
+
+    /// The slab slot for `code`, through the configured residency path:
+    /// the overhauled index, or the pre-overhaul translate + SipHash map
+    /// sequence (reference baseline).
+    fn method_slot(&mut self, code: Fpa) -> Result<u32, MachineError> {
+        if !self.reference {
+            return self.ensure_decoded(code);
+        }
+        // The pre-overhaul sequence: translate the base, then probe the
+        // residency map keyed on the absolute address.
+        let base = code.base();
+        let t = self.space.translate(self.team, base)?;
+        if let Some(&id) = self.methods_reference.get(&t.abs.0) {
+            return Ok(id);
+        }
+        let id = self.ensure_decoded(code)?;
+        self.methods_reference.insert(t.abs.0, id);
+        Ok(id)
+    }
+
+    /// Installs a new current method, invalidating the threaded loop's
+    /// borrowed decode.
+    #[inline]
+    fn set_ip(&mut self, f: Fpa, a: AbsAddr, d: Rc<Decoded>) {
+        self.ip = Some((f, a, d));
+        self.ip_gen = self.ip_gen.wrapping_add(1);
     }
 
     // ------------------------------------------------------------------
@@ -598,12 +976,8 @@ impl Machine {
     /// Absolute address of a context-slot operand, for hazard tracking.
     fn operand_abs(&self, op: Operand) -> Option<(AbsAddr, u64)> {
         match op {
-            Operand::Cur(o) => self
-                .cp
-                .map(|r| (r.abs, o as u64 + OPERAND_BIAS)),
-            Operand::Next(o) => self
-                .ncp
-                .map(|r| (r.abs, o as u64 + OPERAND_BIAS)),
+            Operand::Cur(o) => self.cp.map(|r| (r.abs, o as u64 + OPERAND_BIAS)),
+            Operand::Next(o) => self.ncp.map(|r| (r.abs, o as u64 + OPERAND_BIAS)),
             Operand::Const(_) => None,
         }
     }
@@ -623,10 +997,24 @@ impl Machine {
         let out = lookup_method(&self.classes, key.classes[0], key.opcode);
         self.stats.full_lookups += 1;
         self.stats.lookup_cycles += out.cost_cycles(self.config.lookup_cost);
-        let m = out.method.ok_or(MachineError::DoesNotUnderstand {
+        if out.cycle {
+            return Err(MachineError::ClassChainCycle {
+                opcode: key.opcode,
+                class: key.classes[0],
+            });
+        }
+        let mut m = out.method.ok_or(MachineError::DoesNotUnderstand {
             opcode: key.opcode,
             class: key.classes[0],
         })?;
+        // Resolve defined methods to their decoded-slab slot before caching,
+        // so a later translation hit reaches code by one array index.
+        if let MethodRef::Defined(d) = m {
+            if !d.is_resolved() {
+                let id = self.ensure_decoded(d.code)?;
+                m = MethodRef::Defined(d.resolved(id));
+            }
+        }
         if let Some(itlb) = &mut self.itlb {
             itlb.fill(key, m);
         }
@@ -651,18 +1039,17 @@ impl Machine {
             Some((f, a, d)) => (*f, *a, Rc::clone(d)),
             None => return Err(MachineError::NoContext),
         };
-        if self.pc >= decoded.instrs.len() as u64 {
+        if self.pc >= decoded.low.len() as u64 {
             return Err(MachineError::BadMethod(method_fpa));
         }
         // Step 1: fetch through the instruction cache.
         if let Some(ic) = &mut self.icache {
             let addr = method_abs.0 + CodeObject::HEADER_WORDS + self.pc;
-            if ic.lookup(&addr).is_none() {
-                ic.fill(addr, ());
+            if !ic.probe(addr) {
                 self.stats.icache_miss_cycles += self.config.icache_miss_penalty;
             }
         }
-        let instr = decoded.instrs[self.pc as usize];
+        let instr = decoded.low[self.pc as usize].instr;
         self.stats.instructions += 1;
         self.stats.base_cycles += 2;
         self.steps += 1;
@@ -716,11 +1103,11 @@ impl Machine {
         // Steps 4-5: perform the operation / method call, store results.
         match method {
             MethodRef::Primitive(p) => self.exec_primitive(instr, p, b, c)?,
-            MethodRef::Defined(d) => self.do_call(instr, d)?,
+            MethodRef::Defined(d) => self.do_call(instr, d, b, c)?,
         }
 
         if let Some(interval) = self.config.gc_interval {
-            if self.steps % interval == 0 {
+            if self.steps.is_multiple_of(interval) {
                 self.collect_garbage()?;
             }
         }
@@ -733,9 +1120,7 @@ impl Machine {
 
     fn truthy(&self, w: Word) -> Result<bool, MachineError> {
         match w {
-            Word::Atom(a) => {
-                AtomTable::truthiness(a).ok_or(MachineError::BadBranchCondition(w))
-            }
+            Word::Atom(a) => AtomTable::truthiness(a).ok_or(MachineError::BadBranchCondition(w)),
             Word::Int(i) => Ok(i != 0),
             other => Err(MachineError::BadBranchCondition(other)),
         }
@@ -753,7 +1138,10 @@ impl Machine {
         match p {
             PrimOp::Fjmp | PrimOp::Rjmp => {
                 let taken = self.truthy(b.0)?;
-                let disp = c.0.as_int().ok_or_else(|| bad("jump displacement must be an integer"))? as u64;
+                let disp =
+                    c.0.as_int()
+                        .ok_or_else(|| bad("jump displacement must be an integer"))?
+                        as u64;
                 if taken {
                     self.stats.taken_branches += 1;
                     self.stats.branch_delay_cycles += 1;
@@ -773,8 +1161,12 @@ impl Machine {
             PrimOp::Xfer => self.do_xfer(instr),
             PrimOp::At => {
                 self.stats.memory_op_cycles += self.config.memory_penalty;
-                let ptr = b.0.as_ptr().ok_or_else(|| bad("at: requires an object pointer"))?;
-                let idx = c.0.as_int().ok_or_else(|| bad("at: requires an integer index"))?;
+                let ptr =
+                    b.0.as_ptr()
+                        .ok_or_else(|| bad("at: requires an object pointer"))?;
+                let idx =
+                    c.0.as_int()
+                        .ok_or_else(|| bad("at: requires an integer index"))?;
                 if idx < 0 {
                     return Err(bad("at: index is negative"));
                 }
@@ -789,8 +1181,12 @@ impl Machine {
                     Instr::Three { a, .. } => self.fetch_operand(a)?,
                     Instr::Zero { .. } => return Err(bad("at:put: needs three operands")),
                 };
-                let ptr = b.0.as_ptr().ok_or_else(|| bad("at:put: requires an object pointer"))?;
-                let idx = c.0.as_int().ok_or_else(|| bad("at:put: requires an integer index"))?;
+                let ptr =
+                    b.0.as_ptr()
+                        .ok_or_else(|| bad("at:put: requires an object pointer"))?;
+                let idx =
+                    c.0.as_int()
+                        .ok_or_else(|| bad("at:put: requires an integer index"))?;
                 if idx < 0 {
                     return Err(bad("at:put: index is negative"));
                 }
@@ -825,22 +1221,23 @@ impl Machine {
             PrimOp::New => {
                 self.stats.memory_op_cycles += self.config.memory_penalty;
                 let class = ClassId(
-                    b.0.as_int().ok_or_else(|| bad("new requires an integer class id"))? as u16,
+                    b.0.as_int()
+                        .ok_or_else(|| bad("new requires an integer class id"))?
+                        as u16,
                 );
                 if self.classes.get(class).is_none() {
                     return Err(bad("new of an unknown class"));
                 }
                 let words =
-                    c.0.as_int().ok_or_else(|| bad("new requires an integer size"))?;
+                    c.0.as_int()
+                        .ok_or_else(|| bad("new requires an integer size"))?;
                 if words < 0 {
                     return Err(bad("new with negative size"));
                 }
-                let obj = match self.space.create(
-                    self.team,
-                    class,
-                    words as u64,
-                    AllocKind::Object,
-                ) {
+                let obj = match self
+                    .space
+                    .create(self.team, class, words as u64, AllocKind::Object)
+                {
                     Ok(o) => o,
                     Err(MemError::OutOfAbsoluteSpace { .. }) => {
                         self.collect_garbage()?;
@@ -853,9 +1250,12 @@ impl Machine {
             }
             PrimOp::Grow => {
                 self.stats.memory_op_cycles += self.config.memory_penalty;
-                let ptr = b.0.as_ptr().ok_or_else(|| bad("grow requires an object pointer"))?;
+                let ptr =
+                    b.0.as_ptr()
+                        .ok_or_else(|| bad("grow requires an object pointer"))?;
                 let words =
-                    c.0.as_int().ok_or_else(|| bad("grow requires an integer size"))?;
+                    c.0.as_int()
+                        .ok_or_else(|| bad("grow requires an integer size"))?;
                 if words < 0 {
                     return Err(bad("grow with negative size"));
                 }
@@ -867,12 +1267,14 @@ impl Machine {
                 if !self.privileged {
                     return Err(MachineError::Privileged);
                 }
-                let code = c.0.as_int().ok_or_else(|| bad("as: requires an integer tag code"))?;
+                let code =
+                    c.0.as_int()
+                        .ok_or_else(|| bad("as: requires an integer tag code"))?;
                 let v = match (b.0, code) {
                     (Word::Int(x), 3) => Word::Atom(com_mem::AtomId(x as u32)),
                     (Word::Int(x), 5) => {
-                        let f = Fpa::from_raw(x as u64, self.config.format)
-                            .map_err(MemError::from)?;
+                        let f =
+                            Fpa::from_raw(x as u64, self.config.format).map_err(MemError::from)?;
                         Word::Ptr(f)
                     }
                     (Word::Atom(a), 1) => Word::Int(a.0 as i64),
@@ -906,7 +1308,7 @@ impl Machine {
             if let Instr::Three { a, .. } = instr {
                 let (ptr_w, _) = self.fetch_operand(a)?;
                 match ptr_w {
-                    Word::Ptr(p) => self.mem_write(p, value, class)?,
+                    Word::Ptr(p) => self.store_result(p, value, class)?,
                     // No result expected (result pointer never set).
                     Word::Uninit => {}
                     other => {
@@ -914,9 +1316,8 @@ impl Machine {
                             opcode: instr.opcode(),
                             reason: "result pointer slot does not hold a pointer",
                         })
-                        .map_err(|e| {
+                        .inspect_err(|_e| {
                             let _ = other;
-                            e
                         })
                     }
                 }
@@ -949,27 +1350,58 @@ impl Machine {
     // Calls, returns, transfers
     // ------------------------------------------------------------------
 
-    fn do_call(&mut self, instr: Instr, d: com_obj::DefinedMethod) -> Result<(), MachineError> {
+    fn do_call(
+        &mut self,
+        instr: Instr,
+        d: DefinedMethod,
+        b: (Word, ClassId),
+        c: (Word, ClassId),
+    ) -> Result<(), MachineError> {
         // Operand copy (automatic argument transmission, §3.5): arg0 is the
-        // effective address of A, arg1 = B, arg2 = C.
+        // effective address of A, arg1 = B, arg2 = C. The B and C values
+        // were already fetched for dispatch; the hardware copies them from
+        // the operand buses rather than re-reading the context.
         let copied: u64 = match instr {
-            Instr::Three { a, b, c, .. } => {
-                let result_ptr = match a {
-                    Operand::Cur(o) => {
-                        let r = self.ctx_reg(false)?;
-                        Word::Ptr(r.fpa.with_offset(o as u64 + OPERAND_BIAS)?)
+            Instr::Three { a, .. } => {
+                let result_ptr = {
+                    let r = match a {
+                        Operand::Cur(_) => self.cp.as_ref(),
+                        Operand::Next(_) => self.ncp.as_ref(),
+                        Operand::Const(_) => unreachable!("validated at construction"),
                     }
-                    Operand::Next(o) => {
-                        let r = self.ctx_reg(true)?;
-                        Word::Ptr(r.fpa.with_offset(o as u64 + OPERAND_BIAS)?)
-                    }
-                    Operand::Const(_) => unreachable!("validated at construction"),
+                    .ok_or(MachineError::NoContext)?;
+                    let o = match a {
+                        Operand::Cur(o) | Operand::Next(o) => o,
+                        Operand::Const(_) => unreachable!("validated at construction"),
+                    };
+                    Word::Ptr(r.fpa.with_offset(o as u64 + OPERAND_BIAS)?)
                 };
-                let bv = self.fetch_operand(b)?;
-                let cv = self.fetch_operand(c)?;
-                self.ctx_write_raw(true, CTX_ARG0, result_ptr, self.context_class)?;
-                self.ctx_write_raw(true, CTX_ARG1, bv.0, bv.1)?;
-                self.ctx_write_raw(true, CTX_ARG1 + 1, cv.0, cv.1)?;
+                // The pre-overhaul call sequence re-read both source
+                // operands here; the baseline keeps that cost.
+                let (b, c) = if self.reference {
+                    if let Instr::Three { b: bo, c: co, .. } = instr {
+                        (self.fetch_operand(bo)?, self.fetch_operand(co)?)
+                    } else {
+                        (b, c)
+                    }
+                } else {
+                    (b, c)
+                };
+                let arg0 = (result_ptr, self.context_class);
+                if self.cc.is_some() {
+                    let block = match self.ncp.as_ref() {
+                        Some(r) => r.block.expect("vector contexts are resident"),
+                        None => return Err(MachineError::NoContext),
+                    };
+                    self.cc
+                        .as_mut()
+                        .expect("checked")
+                        .write_linkage(block, arg0, b, c);
+                } else {
+                    self.ctx_write_raw(true, CTX_ARG0, arg0.0, arg0.1)?;
+                    self.ctx_write_raw(true, CTX_ARG1, b.0, b.1)?;
+                    self.ctx_write_raw(true, CTX_ARG1 + 1, c.0, c.1)?;
+                }
                 3
             }
             Instr::Zero { .. } => 0, // programmer placed arguments already
@@ -987,6 +1419,15 @@ impl Machine {
 
         // CP <- NCP; the next context's RCP was set at allocation.
         let new_cp = self.ctx_reg(true)?;
+        if !self.reference {
+            if let Some(caller) = self.cp {
+                self.shadow.push(ShadowFrame {
+                    reg: caller,
+                    rip,
+                    slab: self.cur_slab,
+                });
+            }
+        }
         self.cp = Some(new_cp);
         if let Some(cc) = &mut self.cc {
             cc.set_current(new_cp.block);
@@ -1001,9 +1442,19 @@ impl Machine {
         self.ncp = Some(next);
         self.ctx_write_raw(true, CTX_RCP, Word::Ptr(new_cp.fpa), self.context_class)?;
 
-        // IP <- first instruction of the method.
-        let (f, a, dec) = self.load_method(d.code)?;
-        self.ip = Some((f, a, dec));
+        // IP <- first instruction of the method. A slab-resolved reference
+        // (the warm path: every ITLB hit) is one array index; only an
+        // unresolved dictionary reference pays the decode/index probe. The
+        // reference baseline always pays the pre-overhaul translate+map
+        // sequence instead.
+        let id = if d.is_resolved() && !self.reference {
+            d.slab
+        } else {
+            self.method_slot(d.code)?
+        };
+        let (f, a, dec) = self.slab_entry(id);
+        self.set_ip(f, a, dec);
+        self.cur_slab = id;
         self.pc = 0;
         self.last_dest = None;
         Ok(())
@@ -1027,7 +1478,8 @@ impl Machine {
         };
 
         let old_ncp = self.ncp;
-        let callee_escaped = self.escaped.contains(&callee.fpa.segment());
+        let callee_escaped =
+            !self.escaped.is_empty() && self.escaped.contains(&callee.fpa.segment());
 
         if callee_escaped || !self.config.eager_lifo_free {
             // Non-LIFO (or eager freeing disabled): the callee survives for
@@ -1040,10 +1492,16 @@ impl Machine {
             // pre-allocated next to the free list (explicit free, §2.3).
             if let Some(ncp) = old_ncp {
                 if let Some(cc) = &mut self.cc {
-                    cc.release(ncp.abs);
+                    match ncp.block {
+                        // The pre-allocated next is still resident in its
+                        // block; skip the directory probe.
+                        Some(b) if !self.reference && cc.block_abs(b) == Some(ncp.abs) => {
+                            cc.release_block(b)
+                        }
+                        _ => cc.release(ncp.abs),
+                    }
                 }
-                self.free_list
-                    .push(CtxReg { block: None, ..ncp });
+                self.free_list.push(CtxReg { block: None, ..ncp });
                 self.stats.contexts_freed_lifo += 1;
             }
             let mut recycled = callee;
@@ -1058,9 +1516,43 @@ impl Machine {
         }
 
         // CP <- RCP: the caller may have been copied back; fault it in.
-        let caller_abs = self.space.translate(self.team, caller_fpa)?.abs;
-        let caller_block = if let Some(cc) = &mut self.cc {
-            match cc.find(caller_abs) {
+        // A LIFO return finds the caller's pretranslated base (and its
+        // method's slab slot) on the shadow stack; anything else (xfer
+        // games, RCP rewritten through memory, the reference baseline)
+        // misses the memo and pays the translation.
+        let frame = match self.shadow.pop() {
+            Some(f) if f.reg.fpa == caller_fpa => Some(f),
+            Some(_) => {
+                self.shadow.clear();
+                None
+            }
+            None => None,
+        };
+        let caller_abs = match frame {
+            Some(f) => f.reg.abs,
+            None => self.space.translate(self.team, caller_fpa)?.abs,
+        };
+        let reference = self.reference;
+        // The memoized caller block is still valid when it caches the same
+        // absolute base (copyback may have evicted it mid-call); then the
+        // directory need not be consulted at all.
+        let memo_block = match (&frame, reference) {
+            (Some(f), false) => f.reg.block.filter(|b| {
+                self.cc
+                    .as_ref()
+                    .is_some_and(|cc| cc.block_abs(*b) == Some(caller_abs))
+            }),
+            _ => None,
+        };
+        let caller_block = if let Some(b) = memo_block {
+            Some(b)
+        } else if let Some(cc) = &mut self.cc {
+            let hit = if reference {
+                cc.find_reference(caller_abs)
+            } else {
+                cc.find(caller_abs)
+            };
+            match hit {
                 Some(bi) => Some(bi),
                 None => {
                     // Context cache miss: fault the caller in from memory.
@@ -1103,13 +1595,19 @@ impl Machine {
         // defunct) callee when it was allocated.
         self.ctx_write_raw(true, CTX_RCP, Word::Ptr(caller_fpa), self.context_class)?;
 
-        // IP <- caller's RIP.
+        // IP <- caller's RIP. When the continuation matches the memoized
+        // frame, the caller's method is re-entered by slab index; any
+        // divergence (the program rewrote its RIP) decodes the honest way.
         let (rip, _) = self.ctx_read_raw(false, CTX_RIP)?;
         let rip = rip.as_ptr().ok_or(MachineError::NoContext)?;
-        let method = rip.base();
         let pc = rip.offset() - CodeObject::HEADER_WORDS;
-        let (f, a, dec) = self.load_method(method)?;
-        self.ip = Some((f, a, dec));
+        let id = match frame {
+            Some(f) if f.rip == rip && (f.slab as usize) < self.decoded.len() => f.slab,
+            _ => self.method_slot(rip.base())?,
+        };
+        let (f, a, dec) = self.slab_entry(id);
+        self.set_ip(f, a, dec);
+        self.cur_slab = id;
         self.pc = pc;
         self.last_dest = None;
         Ok(())
@@ -1119,6 +1617,8 @@ impl Machine {
     /// continuation is saved; the next context becomes current and its RIP
     /// is resumed; a fresh next context is allocated.
     fn do_xfer(&mut self, _instr: Instr) -> Result<(), MachineError> {
+        // General transfer breaks LIFO call discipline: drop the memo.
+        self.shadow.clear();
         self.stats.calls += 1;
         self.stats.call_linkage_cycles += 2;
         let (method_fpa, _, _) = self.ip.as_ref().ok_or(MachineError::NoContext)?;
@@ -1140,8 +1640,10 @@ impl Machine {
         let tip = tip.as_ptr().ok_or(MachineError::NoContext)?;
         let method = tip.base();
         let pc = tip.offset() - CodeObject::HEADER_WORDS;
-        let (f, a, dec) = self.load_method(method)?;
-        self.ip = Some((f, a, dec));
+        let id = self.method_slot(method)?;
+        let (f, a, dec) = self.slab_entry(id);
+        self.set_ip(f, a, dec);
+        self.cur_slab = id;
         self.pc = pc;
         self.last_dest = None;
         Ok(())
@@ -1180,6 +1682,9 @@ impl Machine {
         if let Some(cell) = self.result_cell {
             roots.push(cell);
         }
+        // Swept segment names can be recycled: a stale shadow entry could
+        // otherwise validate against a recycled name.
+        self.shadow.clear();
         let st = gc::collect_simple(&mut self.space, self.team, &roots)?;
         self.stats.gc_runs += 1;
         self.stats.gc_cycles += st.cost_cycles();
@@ -1246,6 +1751,7 @@ impl Machine {
         args: &[Word],
     ) -> Result<(), MachineError> {
         self.halted = None;
+        self.shadow.clear();
         // A one-word cell receives the program result.
         let cell = self
             .space
@@ -1291,8 +1797,10 @@ impl Machine {
             self.ctx_write_raw(true, CTX_ARG1 + 1 + i as u64, *a, c)?;
         }
 
-        let (f, a, dec) = self.load_method(entry_base)?;
-        self.ip = Some((f, a, dec));
+        let id = self.method_slot(entry_base)?;
+        let (f, a, dec) = self.slab_entry(id);
+        self.set_ip(f, a, dec);
+        self.cur_slab = id;
         self.pc = 0;
         self.last_dest = None;
         Ok(())
@@ -1300,10 +1808,254 @@ impl Machine {
 
     /// Runs until the entry send returns or `max_steps` is exhausted.
     ///
+    /// This is the *threaded* hot loop: the current decoded method is
+    /// borrowed across the inner loop and re-fetched only on control
+    /// transfers, operands execute from their decode-time lowered form,
+    /// and the per-instruction counters are batched into loop-locals that
+    /// flush at run end, trap, or transfer. Architectural behaviour and
+    /// statistics are bit-identical to [`run_stepwise`](Self::run_stepwise)
+    /// — only wall-clock differs.
+    ///
     /// # Errors
     ///
     /// Returns [`MachineError::StepLimit`] on exhaustion or any trap.
     pub fn run(&mut self, max_steps: u64) -> Result<RunResult, MachineError> {
+        /// Why an inner threaded segment ended.
+        enum SegEnd {
+            /// The step budget ran out mid-method.
+            Budget,
+            /// Control transferred (call/return/xfer): re-fetch the method.
+            Transfer,
+            /// The program halted.
+            Halt,
+            /// The periodic garbage collection came due.
+            GcDue,
+            /// The program counter left the method body.
+            BadPc,
+            /// A trap unwound execution.
+            Trap(MachineError),
+        }
+
+        let mut remaining = max_steps;
+        loop {
+            if remaining == 0 {
+                return Err(MachineError::StepLimit);
+            }
+            if let Some(result) = self.halted {
+                return Ok(RunResult {
+                    result,
+                    stats: self.stats,
+                    steps: self.steps,
+                });
+            }
+            let (method_fpa, method_abs, dec) = match &self.ip {
+                Some((f, a, d)) => (*f, *a, Rc::clone(d)),
+                None => return Err(MachineError::NoContext),
+            };
+            let gen = self.ip_gen;
+            let gc_interval = self.config.gc_interval;
+            let steps_base = self.steps;
+            // Instructions completed against `dec`, not yet in the stats.
+            let mut done: u64 = 0;
+            let end = loop {
+                if done == remaining {
+                    break SegEnd::Budget;
+                }
+                let Some(low) = dec.low.get(self.pc as usize) else {
+                    break SegEnd::BadPc;
+                };
+                // Step 1: fetch through the instruction cache.
+                if let Some(ic) = &mut self.icache {
+                    let addr = method_abs.0 + CodeObject::HEADER_WORDS + self.pc;
+                    if !ic.probe(addr) {
+                        self.stats.icache_miss_cycles += self.config.icache_miss_penalty;
+                    }
+                }
+                // The instruction issues: it counts even if a later stage
+                // traps, exactly as the reference interpreter counts it.
+                done += 1;
+                if let Err(e) = self.exec_low(low) {
+                    break SegEnd::Trap(e);
+                }
+                if let Some(interval) = gc_interval {
+                    if (steps_base + done).is_multiple_of(interval) {
+                        break SegEnd::GcDue;
+                    }
+                }
+                if self.ip_gen != gen || self.halted.is_some() {
+                    // The reference loop runs the copyback check after
+                    // every instruction; here it runs only after control
+                    // transfers (and halts). The two are event-identical:
+                    // the free-block count only *decreases* via context
+                    // allocation and installation, which happen solely in
+                    // call/return/xfer (all of which bump `ip_gen`) — so
+                    // between transfers the low-water check cannot newly
+                    // trip, and the skipped checks were no-ops.
+                    if let Err(e) = self.maybe_copyback() {
+                        break SegEnd::Trap(e);
+                    }
+                    break if self.halted.is_some() {
+                        SegEnd::Halt
+                    } else {
+                        SegEnd::Transfer
+                    };
+                }
+            };
+            // Flush the batched counters before anything can observe them.
+            self.stats.instructions += done;
+            self.stats.base_cycles += 2 * done;
+            self.steps += done;
+            remaining -= done;
+            match end {
+                SegEnd::Budget | SegEnd::Transfer => {}
+                SegEnd::Halt => {
+                    let result = self.halted.expect("halt segment end");
+                    return Ok(RunResult {
+                        result,
+                        stats: self.stats,
+                        steps: self.steps,
+                    });
+                }
+                SegEnd::GcDue => {
+                    // Mirrors the reference interpreter's post-instruction
+                    // sequence: collect, then copyback, then re-dispatch
+                    // (the outer loop re-checks halt).
+                    self.collect_garbage()?;
+                    self.maybe_copyback()?;
+                }
+                SegEnd::BadPc => return Err(MachineError::BadMethod(method_fpa)),
+                SegEnd::Trap(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Executes one lowered instruction: hazard check, operand fetch,
+    /// ITLB translation, then either the pure-data fast path (function
+    /// unit straight to a context slot) or the shared generic paths.
+    #[inline(always)]
+    fn exec_low(&mut self, low: &LowInstr) -> Result<(), MachineError> {
+        // Hazard check (§3.6): an O(1) compare of precomputed slots
+        // against the previous instruction's destination.
+        if let Some(last) = self.last_dest {
+            let mut hazard = false;
+            for (next, off) in low.hazards.into_iter().flatten() {
+                let reg = if next { self.ncp } else { self.cp };
+                if let Some(r) = reg {
+                    if (r.abs, off) == last {
+                        hazard = true;
+                        break;
+                    }
+                }
+            }
+            if hazard {
+                if self.config.strict_hazards {
+                    return Err(MachineError::Hazard { pc: self.pc });
+                }
+                self.stats.interlock_cycles += 1;
+            }
+        }
+        self.last_dest = None;
+
+        // Step 2: operand fetch (values + class tags).
+        let instr = low.instr;
+        let (b, c, key) = match instr {
+            Instr::Three { op, .. } => {
+                let bv = self.read_low(low.b)?;
+                let cv = self.read_low(low.c)?;
+                (bv, cv, ItlbKey::binary(op, bv.1, cv.1))
+            }
+            Instr::Zero { op, nargs, .. } => {
+                let bv = self.ctx_read(true, 1)?;
+                let cv = if nargs >= 2 {
+                    self.ctx_read(true, 2)?
+                } else {
+                    (Word::Uninit, ClassId::NONE)
+                };
+                let key = if nargs >= 2 {
+                    ItlbKey::binary(op, bv.1, cv.1)
+                } else {
+                    ItlbKey::unary(op, bv.1)
+                };
+                (bv, cv, key)
+            }
+        };
+
+        // Step 3: translate through the ITLB (or pay full lookup).
+        let method = self.resolve(key)?;
+
+        // Steps 4-5: perform the operation, store results.
+        match method {
+            MethodRef::Primitive(p) => {
+                if instr.returns() && is_pure_data(p) && matches!(instr, Instr::Three { .. }) {
+                    // Fast return: function unit result through the result
+                    // pointer, then the return sequence — the lowered
+                    // mirror of `write_result`'s returning branch.
+                    let v = crate::exec::data_op(p, instr.opcode(), b.0, c.0)?;
+                    let class = self.class_of_word(&v)?;
+                    let (ptr_w, _) = self.read_low(low.a)?;
+                    match ptr_w {
+                        Word::Ptr(ptr) => self.store_result(ptr, v, class)?,
+                        // No result expected (result pointer never set).
+                        Word::Uninit => {}
+                        _ => {
+                            return Err(MachineError::BadOperands {
+                                opcode: instr.opcode(),
+                                reason: "result pointer slot does not hold a pointer",
+                            })
+                        }
+                    }
+                    self.do_return()?;
+                    self.last_dest = None;
+                    return Ok(());
+                }
+                if let Some((dnext, doff)) = low.dest {
+                    if is_pure_data(p) {
+                        // Fast path: function unit result into a context
+                        // slot. Charges exactly what the generic
+                        // `exec_primitive` + `write_result` pair charges
+                        // for the same instruction: nothing beyond base.
+                        let v = crate::exec::data_op(p, instr.opcode(), b.0, c.0)?;
+                        let class = self.class_of_word(&v)?;
+                        self.ctx_write_raw(dnext, doff, v, class)?;
+                        let reg = if dnext { &self.ncp } else { &self.cp };
+                        self.last_dest = reg.as_ref().map(|r| (r.abs, doff));
+                        self.pc += 1;
+                        return Ok(());
+                    }
+                }
+                self.exec_primitive(instr, p, b, c)
+            }
+            MethodRef::Defined(d) => self.do_call(instr, d, b, c),
+        }
+    }
+
+    /// Fetches a lowered operand (the fast-path analogue of
+    /// [`fetch_operand`](Self::fetch_operand)).
+    #[inline(always)]
+    fn read_low(&mut self, op: LowOperand) -> Result<(Word, ClassId), MachineError> {
+        match op {
+            LowOperand::Cur(off) => self.ctx_read_raw(false, off),
+            LowOperand::Next(off) => self.ctx_read_raw(true, off),
+            LowOperand::Imm(w, c) => Ok((w, c)),
+            LowOperand::BadConst => Err(MachineError::BadOperands {
+                opcode: Opcode::MOVE,
+                reason: "constant index beyond method constant table",
+            }),
+        }
+    }
+
+    /// Runs via the reference single-step interpreter: one
+    /// [`step`](Self::step) per instruction, every invariant
+    /// re-established from machine state each time — the pre-overhaul
+    /// loop. Results and architectural statistics are bit-identical to
+    /// [`run`](Self::run); only wall-clock differs. The bench pipeline
+    /// measures the threaded loop against this baseline, and the
+    /// differential tests use it as the oracle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError::StepLimit`] on exhaustion or any trap.
+    pub fn run_stepwise(&mut self, max_steps: u64) -> Result<RunResult, MachineError> {
         for _ in 0..max_steps {
             match self.step() {
                 Ok(()) => {}
@@ -1319,6 +2071,25 @@ impl Machine {
         }
         Err(MachineError::StepLimit)
     }
+}
+
+/// Whether a primitive is a pure data operation (a function-unit result
+/// with no control or memory side effects) — the set `exec_primitive`
+/// routes to [`data_op`](crate::exec::data_op).
+#[inline]
+fn is_pure_data(p: PrimOp) -> bool {
+    !matches!(
+        p,
+        PrimOp::Fjmp
+            | PrimOp::Rjmp
+            | PrimOp::Xfer
+            | PrimOp::At
+            | PrimOp::AtPut
+            | PrimOp::Movea
+            | PrimOp::New
+            | PrimOp::Grow
+            | PrimOp::TagAs
+    )
 }
 
 #[cfg(test)]
@@ -1349,10 +2120,20 @@ mod tests {
     fn primitive_add_via_defined_wrapper() {
         // SmallInteger>>plus: other — c3 <- self + other; return c3.
         let (img, _) = image_with(ClassId::SMALL_INT, "plus:", |asm| {
-            asm.emit_three(Opcode::ADD, Operand::Cur(3), Operand::Cur(1), Operand::Cur(2))
-                .unwrap();
-            asm.emit_three_ret(Opcode::MOVE, Operand::Cur(0), Operand::Cur(3), Operand::Cur(3))
-                .unwrap();
+            asm.emit_three(
+                Opcode::ADD,
+                Operand::Cur(3),
+                Operand::Cur(1),
+                Operand::Cur(2),
+            )
+            .unwrap();
+            asm.emit_three_ret(
+                Opcode::MOVE,
+                Operand::Cur(0),
+                Operand::Cur(3),
+                Operand::Cur(3),
+            )
+            .unwrap();
         });
         let out = run(&img, "plus:", Word::Int(20), &[Word::Int(22)]);
         assert_eq!(out.result, Word::Int(42));
@@ -1366,19 +2147,39 @@ mod tests {
         let (img, _) = image_with(ClassId::SMALL_INT, "abs", |asm| {
             let k0 = asm.intern_const(Word::Int(0));
             // c3 <- self < 0
-            asm.emit_three(Opcode::LT, Operand::Cur(3), Operand::Cur(1), Operand::Const(k0))
-                .unwrap();
+            asm.emit_three(
+                Opcode::LT,
+                Operand::Cur(3),
+                Operand::Cur(1),
+                Operand::Const(k0),
+            )
+            .unwrap();
             let neg = asm.label();
             asm.jump_if(Operand::Cur(3), neg);
             // return self
-            asm.emit_three_ret(Opcode::MOVE, Operand::Cur(0), Operand::Cur(1), Operand::Cur(1))
-                .unwrap();
+            asm.emit_three_ret(
+                Opcode::MOVE,
+                Operand::Cur(0),
+                Operand::Cur(1),
+                Operand::Cur(1),
+            )
+            .unwrap();
             asm.bind(neg);
             // c4 <- self negated ; return c4
-            asm.emit_three(Opcode::NEG, Operand::Cur(4), Operand::Cur(1), Operand::Cur(1))
-                .unwrap();
-            asm.emit_three_ret(Opcode::MOVE, Operand::Cur(0), Operand::Cur(4), Operand::Cur(4))
-                .unwrap();
+            asm.emit_three(
+                Opcode::NEG,
+                Operand::Cur(4),
+                Operand::Cur(1),
+                Operand::Cur(1),
+            )
+            .unwrap();
+            asm.emit_three_ret(
+                Opcode::MOVE,
+                Operand::Cur(0),
+                Operand::Cur(4),
+                Operand::Cur(4),
+            )
+            .unwrap();
         });
         assert_eq!(run(&img, "abs", Word::Int(-5), &[]).result, Word::Int(5));
         assert_eq!(run(&img, "abs", Word::Int(7), &[]).result, Word::Int(7));
@@ -1393,23 +2194,53 @@ mod tests {
         let k0 = asm.intern_const(Word::Int(0));
         let k1 = asm.intern_const(Word::Int(1));
         // c3 <- self <= 0
-        asm.emit_three(Opcode::LE, Operand::Cur(3), Operand::Cur(1), Operand::Const(k0))
-            .unwrap();
+        asm.emit_three(
+            Opcode::LE,
+            Operand::Cur(3),
+            Operand::Cur(1),
+            Operand::Const(k0),
+        )
+        .unwrap();
         let base = asm.label();
         asm.jump_if(Operand::Cur(3), base);
         // c4 <- self - 1 ; c5 <- c4 sumto ; c6 <- self + c5 ; return c6
-        asm.emit_three(Opcode::SUB, Operand::Cur(4), Operand::Cur(1), Operand::Const(k1))
-            .unwrap();
-        asm.emit_three(Opcode(sel.0), Operand::Cur(5), Operand::Cur(4), Operand::Cur(4))
-            .unwrap();
-        asm.emit_three(Opcode::ADD, Operand::Cur(6), Operand::Cur(1), Operand::Cur(5))
-            .unwrap();
-        asm.emit_three_ret(Opcode::MOVE, Operand::Cur(0), Operand::Cur(6), Operand::Cur(6))
-            .unwrap();
+        asm.emit_three(
+            Opcode::SUB,
+            Operand::Cur(4),
+            Operand::Cur(1),
+            Operand::Const(k1),
+        )
+        .unwrap();
+        asm.emit_three(
+            Opcode(sel.0),
+            Operand::Cur(5),
+            Operand::Cur(4),
+            Operand::Cur(4),
+        )
+        .unwrap();
+        asm.emit_three(
+            Opcode::ADD,
+            Operand::Cur(6),
+            Operand::Cur(1),
+            Operand::Cur(5),
+        )
+        .unwrap();
+        asm.emit_three_ret(
+            Opcode::MOVE,
+            Operand::Cur(0),
+            Operand::Cur(6),
+            Operand::Cur(6),
+        )
+        .unwrap();
         asm.bind(base);
         // B must be context mode; MOVE takes its value from C (= 0).
-        asm.emit_three_ret(Opcode::MOVE, Operand::Cur(0), Operand::Cur(1), Operand::Const(k0))
-            .unwrap();
+        asm.emit_three_ret(
+            Opcode::MOVE,
+            Operand::Cur(0),
+            Operand::Cur(1),
+            Operand::Const(k0),
+        )
+        .unwrap();
         img.add_method(ClassId::SMALL_INT, sel, asm.finish().unwrap());
 
         let out = run(&img, "sumto", Word::Int(100), &[]);
@@ -1426,8 +2257,13 @@ mod tests {
     fn call_cost_matches_paper() {
         // A method that immediately returns; called once via 3-operand form.
         let (img, _) = image_with(ClassId::SMALL_INT, "nop:", |asm| {
-            asm.emit_three_ret(Opcode::MOVE, Operand::Cur(0), Operand::Cur(1), Operand::Cur(1))
-                .unwrap();
+            asm.emit_three_ret(
+                Opcode::MOVE,
+                Operand::Cur(0),
+                Operand::Cur(1),
+                Operand::Cur(1),
+            )
+            .unwrap();
         });
         let mut m = Machine::new(MachineConfig::default());
         m.load(&img).unwrap();
@@ -1459,19 +2295,33 @@ mod tests {
     #[test]
     fn works_without_itlb_and_without_context_cache() {
         let (img, _) = image_with(ClassId::SMALL_INT, "plus:", |asm| {
-            asm.emit_three(Opcode::ADD, Operand::Cur(3), Operand::Cur(1), Operand::Cur(2))
-                .unwrap();
-            asm.emit_three_ret(Opcode::MOVE, Operand::Cur(0), Operand::Cur(3), Operand::Cur(3))
-                .unwrap();
+            asm.emit_three(
+                Opcode::ADD,
+                Operand::Cur(3),
+                Operand::Cur(1),
+                Operand::Cur(2),
+            )
+            .unwrap();
+            asm.emit_three_ret(
+                Opcode::MOVE,
+                Operand::Cur(0),
+                Operand::Cur(3),
+                Operand::Cur(3),
+            )
+            .unwrap();
         });
         for cfg in [
             MachineConfig::default().without_itlb(),
             MachineConfig::default().without_context_cache(),
-            MachineConfig::default().without_itlb().without_context_cache(),
+            MachineConfig::default()
+                .without_itlb()
+                .without_context_cache(),
         ] {
             let mut m = Machine::new(cfg);
             m.load(&img).unwrap();
-            let out = m.send("plus:", Word::Int(1), &[Word::Int(2)], 10_000).unwrap();
+            let out = m
+                .send("plus:", Word::Int(1), &[Word::Int(2)], 10_000)
+                .unwrap();
             assert_eq!(out.result, Word::Int(3));
         }
     }
@@ -1479,16 +2329,28 @@ mod tests {
     #[test]
     fn itlb_eliminates_repeat_lookups() {
         let (img, _) = image_with(ClassId::SMALL_INT, "plus:", |asm| {
-            asm.emit_three(Opcode::ADD, Operand::Cur(3), Operand::Cur(1), Operand::Cur(2))
-                .unwrap();
-            asm.emit_three_ret(Opcode::MOVE, Operand::Cur(0), Operand::Cur(3), Operand::Cur(3))
-                .unwrap();
+            asm.emit_three(
+                Opcode::ADD,
+                Operand::Cur(3),
+                Operand::Cur(1),
+                Operand::Cur(2),
+            )
+            .unwrap();
+            asm.emit_three_ret(
+                Opcode::MOVE,
+                Operand::Cur(0),
+                Operand::Cur(3),
+                Operand::Cur(3),
+            )
+            .unwrap();
         });
         let mut m = Machine::new(MachineConfig::default());
         m.load(&img).unwrap();
-        m.send("plus:", Word::Int(1), &[Word::Int(2)], 10_000).unwrap();
+        m.send("plus:", Word::Int(1), &[Word::Int(2)], 10_000)
+            .unwrap();
         let first = m.stats().full_lookups;
-        m.send("plus:", Word::Int(3), &[Word::Int(4)], 10_000).unwrap();
+        m.send("plus:", Word::Int(3), &[Word::Int(4)], 10_000)
+            .unwrap();
         let second = m.stats().full_lookups - first;
         assert!(
             second < first,

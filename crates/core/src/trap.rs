@@ -23,6 +23,15 @@ pub enum MachineError {
         /// The receiver's class.
         class: ClassId,
     },
+    /// Method lookup walked a cyclic superclass chain: the class table is
+    /// corrupted. Distinct from [`MachineError::DoesNotUnderstand`] — the
+    /// method may well exist, but the table cannot be trusted to say so.
+    ClassChainCycle {
+        /// The selector whose lookup hit the cycle.
+        opcode: Opcode,
+        /// The receiver's class (the start of the cyclic chain).
+        class: ClassId,
+    },
     /// An operand word was read before ever being written.
     UninitOperand {
         /// The faulting context slot (operand-biased offset).
@@ -89,6 +98,12 @@ impl core::fmt::Display for MachineError {
             MachineError::DoesNotUnderstand { opcode, class } => {
                 write!(f, "{class} does not understand {opcode}")
             }
+            MachineError::ClassChainCycle { opcode, class } => {
+                write!(
+                    f,
+                    "superclass chain of {class} is cyclic (corrupted class table) while looking up {opcode}"
+                )
+            }
             MachineError::UninitOperand { offset } => {
                 write!(f, "uninitialised operand at context offset {offset}")
             }
@@ -99,7 +114,10 @@ impl core::fmt::Display for MachineError {
             }
             MachineError::Privileged => write!(f, "privileged instruction (as:) in user mode"),
             MachineError::Hazard { pc } => {
-                write!(f, "read-after-write hazard at pc {pc} (compiler contract violated)")
+                write!(
+                    f,
+                    "read-after-write hazard at pc {pc} (compiler contract violated)"
+                )
             }
             MachineError::StepLimit => write!(f, "step limit exhausted"),
             MachineError::Halted(w) => write!(f, "halted with result {w}"),

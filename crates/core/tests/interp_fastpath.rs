@@ -1,0 +1,284 @@
+//! Regression tests for the threaded interpreter fast paths.
+//!
+//! The architectural contract (see `com_core::machine` module docs): the
+//! threaded loop ([`Machine::run`]) and the reference single-step loop
+//! ([`Machine::run_stepwise`]) must be *bit-identical* in everything the
+//! simulation models — results, instruction counts, [`CycleStats`], and
+//! cache statistics. Only wall-clock may differ.
+
+use com_core::{CycleStats, Machine, MachineConfig, MachineError, ProgramImage};
+use com_isa::{Assembler, Opcode, Operand};
+use com_mem::{ClassId, Word};
+use com_obj::ClassTable;
+
+/// A recursive sum-to-n: calls, returns, branches, constants, interlocks.
+fn sumto_image() -> (ProgramImage, &'static str) {
+    let mut img = ProgramImage::empty();
+    let sel = img.opcodes.intern("sumto");
+    let mut asm = Assembler::new("SmallInteger>>sumto", 1);
+    let k0 = asm.intern_const(Word::Int(0));
+    let k1 = asm.intern_const(Word::Int(1));
+    asm.emit_three(
+        Opcode::LE,
+        Operand::Cur(3),
+        Operand::Cur(1),
+        Operand::Const(k0),
+    )
+    .unwrap();
+    let base = asm.label();
+    asm.jump_if(Operand::Cur(3), base);
+    asm.emit_three(
+        Opcode::SUB,
+        Operand::Cur(4),
+        Operand::Cur(1),
+        Operand::Const(k1),
+    )
+    .unwrap();
+    asm.emit_three(
+        Opcode(sel.0),
+        Operand::Cur(5),
+        Operand::Cur(4),
+        Operand::Cur(4),
+    )
+    .unwrap();
+    asm.emit_three(
+        Opcode::ADD,
+        Operand::Cur(6),
+        Operand::Cur(1),
+        Operand::Cur(5),
+    )
+    .unwrap();
+    asm.emit_three_ret(
+        Opcode::MOVE,
+        Operand::Cur(0),
+        Operand::Cur(6),
+        Operand::Cur(6),
+    )
+    .unwrap();
+    asm.bind(base);
+    asm.emit_three_ret(
+        Opcode::MOVE,
+        Operand::Cur(0),
+        Operand::Cur(1),
+        Operand::Const(k0),
+    )
+    .unwrap();
+    img.add_method(ClassId::SMALL_INT, sel, asm.finish().unwrap());
+    (img, "sumto")
+}
+
+/// An image whose `answer` method returns `value` (for reload tests).
+fn answer_image(value: i64) -> ProgramImage {
+    let mut img = ProgramImage::empty();
+    let sel = img.opcodes.intern("answer");
+    let mut asm = Assembler::new("SmallInteger>>answer", 1);
+    let k = asm.intern_const(Word::Int(value));
+    asm.emit_three_ret(
+        Opcode::MOVE,
+        Operand::Cur(0),
+        Operand::Cur(1),
+        Operand::Const(k),
+    )
+    .unwrap();
+    img.add_method(ClassId::SMALL_INT, sel, asm.finish().unwrap());
+    img
+}
+
+struct Observed {
+    result: Result<(Word, u64), MachineError>,
+    stats: CycleStats,
+    itlb: Option<com_cache::CacheStats>,
+    icache: Option<com_cache::CacheStats>,
+    cc: Option<com_core::CtxCacheStats>,
+}
+
+fn observe(
+    img: &ProgramImage,
+    selector: &str,
+    recv: Word,
+    cfg: MachineConfig,
+    max_steps: u64,
+    stepwise: bool,
+) -> Observed {
+    let mut m = Machine::new(cfg);
+    m.load(img).unwrap();
+    let sel = m.opcodes().get(selector).unwrap();
+    m.start_send(sel, recv, &[]).unwrap();
+    let result = if stepwise {
+        m.run_stepwise(max_steps)
+    } else {
+        m.run(max_steps)
+    }
+    .map(|r| (r.result, r.steps));
+    Observed {
+        result,
+        stats: m.stats(),
+        itlb: m.itlb_stats(),
+        icache: m.icache_stats(),
+        cc: m.ctx_cache_stats(),
+    }
+}
+
+fn assert_bit_identical(
+    img: &ProgramImage,
+    selector: &str,
+    recv: Word,
+    cfg: MachineConfig,
+    max_steps: u64,
+) {
+    let a = observe(img, selector, recv, cfg, max_steps, false);
+    let b = observe(img, selector, recv, cfg, max_steps, true);
+    assert_eq!(a.result, b.result, "results diverged");
+    assert_eq!(a.stats, b.stats, "CycleStats diverged");
+    assert_eq!(a.itlb, b.itlb, "ITLB stats diverged");
+    assert_eq!(a.icache, b.icache, "icache stats diverged");
+    assert_eq!(a.cc, b.cc, "context cache stats diverged");
+}
+
+#[test]
+fn threaded_and_stepwise_loops_are_bit_identical() {
+    let (img, sel) = sumto_image();
+    for cfg in [
+        MachineConfig::default(),
+        MachineConfig::default().without_itlb(),
+        MachineConfig::default().without_context_cache(),
+        MachineConfig::default()
+            .without_itlb()
+            .without_context_cache(),
+        MachineConfig::default().with_ctx_blocks(4), // deep nesting: copyback engages
+        MachineConfig::default().without_eager_lifo_free(),
+    ] {
+        assert_bit_identical(&img, sel, Word::Int(150), cfg, 1_000_000);
+    }
+}
+
+#[test]
+fn loops_agree_at_step_limit_cutoff() {
+    // The batched counters must flush exactly at the budget boundary.
+    let (img, sel) = sumto_image();
+    for max_steps in [1, 2, 3, 7, 50, 123] {
+        let a = observe(
+            &img,
+            sel,
+            Word::Int(100),
+            MachineConfig::default(),
+            max_steps,
+            false,
+        );
+        let b = observe(
+            &img,
+            sel,
+            Word::Int(100),
+            MachineConfig::default(),
+            max_steps,
+            true,
+        );
+        assert!(matches!(a.result, Err(MachineError::StepLimit)));
+        assert_eq!(a.result, b.result, "cutoff at {max_steps}");
+        assert_eq!(a.stats, b.stats, "stats at cutoff {max_steps}");
+        assert_eq!(a.stats.instructions, max_steps);
+    }
+}
+
+#[test]
+fn loops_agree_with_periodic_gc() {
+    let (img, sel) = sumto_image();
+    let cfg = MachineConfig {
+        gc_interval: Some(97),
+        ..MachineConfig::default()
+    };
+    let a = observe(&img, sel, Word::Int(80), cfg, 1_000_000, false);
+    let b = observe(&img, sel, Word::Int(80), cfg, 1_000_000, true);
+    assert_eq!(a.result, b.result);
+    assert_eq!(a.stats, b.stats);
+    assert!(a.stats.gc_runs > 0, "interval GC must actually run");
+}
+
+#[test]
+fn reference_interpreter_is_architecturally_identical() {
+    // The bench baseline (pre-overhaul data paths) models the same
+    // machine: same answers, same cycle accounting on a fixed workload.
+    let (img, sel) = sumto_image();
+    let fast = observe(
+        &img,
+        sel,
+        Word::Int(150),
+        MachineConfig::default(),
+        1_000_000,
+        false,
+    );
+    let reference = observe(
+        &img,
+        sel,
+        Word::Int(150),
+        MachineConfig::default().reference_interpreter(),
+        1_000_000,
+        true,
+    );
+    assert_eq!(fast.result, reference.result);
+    assert_eq!(fast.stats, reference.stats);
+}
+
+#[test]
+fn decoded_slab_invalidated_across_load() {
+    let mut m = Machine::new(MachineConfig::default());
+    m.load(&answer_image(1)).unwrap();
+    let out = m.send("answer", Word::Int(0), &[], 10_000).unwrap();
+    assert_eq!(out.result, Word::Int(1));
+
+    // Replace the program: the slab and every cached translation must be
+    // dropped, or the warm ITLB would dispatch into the old image's code.
+    m.load(&answer_image(2)).unwrap();
+    let out = m.send("answer", Word::Int(0), &[], 10_000).unwrap();
+    assert_eq!(
+        out.result,
+        Word::Int(2),
+        "stale decoded method survived load()"
+    );
+
+    // Reloading the same program is also fine (fresh copies, fresh slab).
+    m.load(&answer_image(2)).unwrap();
+    let out = m.send("answer", Word::Int(0), &[], 10_000).unwrap();
+    assert_eq!(out.result, Word::Int(2));
+}
+
+#[test]
+fn warm_resends_reuse_the_slab_and_agree() {
+    // Several sends on one machine: the second and later go through the
+    // ITLB-resolved slab path end-to-end.
+    let (img, sel) = sumto_image();
+    let mut fast = Machine::new(MachineConfig::default());
+    fast.load(&img).unwrap();
+    let mut slow = Machine::new(MachineConfig::default());
+    slow.load(&img).unwrap();
+    for n in [10, 40, 160] {
+        let s = fast.opcodes().get(sel).unwrap();
+        fast.start_send(s, Word::Int(n), &[]).unwrap();
+        let a = fast.run(1_000_000).unwrap();
+        let s = slow.opcodes().get(sel).unwrap();
+        slow.start_send(s, Word::Int(n), &[]).unwrap();
+        let b = slow.run_stepwise(1_000_000).unwrap();
+        assert_eq!(a.result, Word::Int(n * (n + 1) / 2));
+        assert_eq!(a.result, b.result);
+        assert_eq!(a.stats, b.stats);
+    }
+}
+
+#[test]
+fn class_chain_cycle_traps_as_corruption_not_dnu() {
+    let mut img = ProgramImage::empty();
+    img.opcodes.intern("frobnicate");
+    // Corrupt the superclass chain: Object loops back to SmallInteger, so
+    // looking anything up from an integer receiver walks a cycle.
+    img.classes.get_mut(ClassTable::OBJECT).unwrap().superclass = Some(ClassId::SMALL_INT);
+    let mut m = Machine::new(MachineConfig::default());
+    m.load(&img).unwrap();
+    let sel = m.opcodes().get("frobnicate").unwrap();
+    m.start_send(sel, Word::Int(1), &[]).unwrap();
+    match m.run(100) {
+        Err(MachineError::ClassChainCycle { class, .. }) => {
+            assert_eq!(class, ClassId::SMALL_INT);
+        }
+        other => panic!("expected ClassChainCycle, got {other:?}"),
+    }
+}

@@ -25,10 +25,20 @@ fn privileged_as_traps_in_user_mode_and_works_privileged() {
     // as: retags an Int as an Atom — capability forging unless privileged.
     let img = image_with("forge", 1, |asm| {
         let k3 = asm.intern_const(Word::Int(3)); // Atom tag code
-        asm.emit_three(Opcode::AS, Operand::Cur(3), Operand::Cur(1), Operand::Const(k3))
-            .unwrap();
-        asm.emit_three_ret(Opcode::MOVE, Operand::Cur(0), Operand::Cur(3), Operand::Cur(3))
-            .unwrap();
+        asm.emit_three(
+            Opcode::AS,
+            Operand::Cur(3),
+            Operand::Cur(1),
+            Operand::Const(k3),
+        )
+        .unwrap();
+        asm.emit_three_ret(
+            Opcode::MOVE,
+            Operand::Cur(0),
+            Operand::Cur(3),
+            Operand::Cur(3),
+        )
+        .unwrap();
     });
     let mut m = machine(&img);
     assert!(matches!(
@@ -44,10 +54,20 @@ fn privileged_as_traps_in_user_mode_and_works_privileged() {
 #[test]
 fn tag_instruction_reads_tags() {
     let img = image_with("tagOf:", 2, |asm| {
-        asm.emit_three(Opcode::TAG, Operand::Cur(3), Operand::Cur(2), Operand::Cur(2))
-            .unwrap();
-        asm.emit_three_ret(Opcode::MOVE, Operand::Cur(0), Operand::Cur(3), Operand::Cur(3))
-            .unwrap();
+        asm.emit_three(
+            Opcode::TAG,
+            Operand::Cur(3),
+            Operand::Cur(2),
+            Operand::Cur(2),
+        )
+        .unwrap();
+        asm.emit_three_ret(
+            Opcode::MOVE,
+            Operand::Cur(0),
+            Operand::Cur(3),
+            Operand::Cur(3),
+        )
+        .unwrap();
     });
     let mut m = machine(&img);
     let out = m
@@ -55,7 +75,9 @@ fn tag_instruction_reads_tags() {
         .unwrap();
     assert_eq!(out.result, Word::Int(com_mem::Tag::Float as i64));
     let mut m = machine(&img);
-    let out = m.send("tagOf:", Word::Int(0), &[Word::Int(1)], 1000).unwrap();
+    let out = m
+        .send("tagOf:", Word::Int(0), &[Word::Int(1)], 1000)
+        .unwrap();
     assert_eq!(out.result, Word::Int(com_mem::Tag::Int as i64));
 }
 
@@ -63,12 +85,27 @@ fn tag_instruction_reads_tags() {
 fn strict_hazard_mode_rejects_dependent_pairs() {
     // c3 <- c1 + c1 ; c4 <- c3 + c1 — reads the previous destination.
     let img = image_with("hazard", 1, |asm| {
-        asm.emit_three(Opcode::ADD, Operand::Cur(3), Operand::Cur(1), Operand::Cur(1))
-            .unwrap();
-        asm.emit_three(Opcode::ADD, Operand::Cur(4), Operand::Cur(3), Operand::Cur(1))
-            .unwrap();
-        asm.emit_three_ret(Opcode::MOVE, Operand::Cur(0), Operand::Cur(4), Operand::Cur(4))
-            .unwrap();
+        asm.emit_three(
+            Opcode::ADD,
+            Operand::Cur(3),
+            Operand::Cur(1),
+            Operand::Cur(1),
+        )
+        .unwrap();
+        asm.emit_three(
+            Opcode::ADD,
+            Operand::Cur(4),
+            Operand::Cur(3),
+            Operand::Cur(1),
+        )
+        .unwrap();
+        asm.emit_three_ret(
+            Opcode::MOVE,
+            Operand::Cur(0),
+            Operand::Cur(4),
+            Operand::Cur(4),
+        )
+        .unwrap();
     });
     // Default: a one-cycle interlock is charged, execution proceeds.
     let mut m = machine(&img);
@@ -95,24 +132,44 @@ fn taken_branches_charge_exactly_one_delay_cycle() {
         let k0 = asm.intern_const(Word::Int(0));
         let k1 = asm.intern_const(Word::Int(1));
         // c3 <- self
-        asm.emit_three(Opcode::MOVE, Operand::Cur(3), Operand::Cur(1), Operand::Cur(1))
-            .unwrap();
+        asm.emit_three(
+            Opcode::MOVE,
+            Operand::Cur(3),
+            Operand::Cur(1),
+            Operand::Cur(1),
+        )
+        .unwrap();
         let top = asm.label();
         let out_l = asm.label();
         asm.bind(top);
         // c4 <- c3 > 0 ; exit when false
-        asm.emit_three(Opcode::GT, Operand::Cur(4), Operand::Cur(3), Operand::Const(k0))
-            .unwrap();
+        asm.emit_three(
+            Opcode::GT,
+            Operand::Cur(4),
+            Operand::Cur(3),
+            Operand::Const(k0),
+        )
+        .unwrap();
         let body = asm.label();
         asm.jump_if(Operand::Cur(4), body);
         asm.jump(out_l);
         asm.bind(body);
-        asm.emit_three(Opcode::SUB, Operand::Cur(3), Operand::Cur(3), Operand::Const(k1))
-            .unwrap();
+        asm.emit_three(
+            Opcode::SUB,
+            Operand::Cur(3),
+            Operand::Cur(3),
+            Operand::Const(k1),
+        )
+        .unwrap();
         asm.jump(top);
         asm.bind(out_l);
-        asm.emit_three_ret(Opcode::MOVE, Operand::Cur(0), Operand::Cur(3), Operand::Const(k0))
-            .unwrap();
+        asm.emit_three_ret(
+            Opcode::MOVE,
+            Operand::Cur(0),
+            Operand::Cur(3),
+            Operand::Const(k0),
+        )
+        .unwrap();
     });
     let mut m = machine(&img);
     let n = 10i64;
@@ -128,8 +185,13 @@ fn taken_branches_charge_exactly_one_delay_cycle() {
 fn executing_past_method_end_is_trapped() {
     // A method with no return: falls off the end.
     let img = image_with("felloff", 1, |asm| {
-        asm.emit_three(Opcode::ADD, Operand::Cur(3), Operand::Cur(1), Operand::Cur(1))
-            .unwrap();
+        asm.emit_three(
+            Opcode::ADD,
+            Operand::Cur(3),
+            Operand::Cur(1),
+            Operand::Cur(1),
+        )
+        .unwrap();
     });
     let mut m = machine(&img);
     assert!(matches!(
@@ -145,8 +207,13 @@ fn zero_format_data_op_without_return_is_rejected() {
     let mut asm = Assembler::new("SmallInteger>>weird", 1);
     // ADD in zero format with no return bit: no destination exists.
     asm.emit(Instr::zero(Opcode::ADD, 2, false).unwrap());
-    asm.emit_three_ret(Opcode::MOVE, Operand::Cur(0), Operand::Cur(1), Operand::Cur(1))
-        .unwrap();
+    asm.emit_three_ret(
+        Opcode::MOVE,
+        Operand::Cur(0),
+        Operand::Cur(1),
+        Operand::Cur(1),
+    )
+    .unwrap();
     img.add_method(ClassId::SMALL_INT, sel, asm.finish().unwrap());
     let mut m = machine(&img);
     // The implicit next-context operands are Uninit -> dispatch gives
@@ -158,10 +225,20 @@ fn zero_format_data_op_without_return_is_rejected() {
 #[test]
 fn division_by_zero_surfaces_as_bad_operands() {
     let img = image_with("div:", 2, |asm| {
-        asm.emit_three(Opcode::DIV, Operand::Cur(3), Operand::Cur(1), Operand::Cur(2))
-            .unwrap();
-        asm.emit_three_ret(Opcode::MOVE, Operand::Cur(0), Operand::Cur(3), Operand::Cur(3))
-            .unwrap();
+        asm.emit_three(
+            Opcode::DIV,
+            Operand::Cur(3),
+            Operand::Cur(1),
+            Operand::Cur(2),
+        )
+        .unwrap();
+        asm.emit_three_ret(
+            Opcode::MOVE,
+            Operand::Cur(0),
+            Operand::Cur(3),
+            Operand::Cur(3),
+        )
+        .unwrap();
     });
     let mut m = machine(&img);
     assert!(matches!(
@@ -169,7 +246,9 @@ fn division_by_zero_surfaces_as_bad_operands() {
         Err(MachineError::BadOperands { .. })
     ));
     let mut m = machine(&img);
-    let out = m.send("div:", Word::Int(12), &[Word::Int(4)], 1000).unwrap();
+    let out = m
+        .send("div:", Word::Int(12), &[Word::Int(4)], 1000)
+        .unwrap();
     assert_eq!(out.result, Word::Int(3));
 }
 
@@ -180,13 +259,28 @@ fn instruction_counts_balance_cycles() {
     let img = image_with("work", 1, |asm| {
         let k1 = asm.intern_const(Word::Int(1));
         for _ in 0..10 {
-            asm.emit_three(Opcode::ADD, Operand::Cur(3), Operand::Cur(1), Operand::Const(k1))
-                .unwrap();
-            asm.emit_three(Opcode::MUL, Operand::Cur(4), Operand::Cur(1), Operand::Const(k1))
-                .unwrap();
-        }
-        asm.emit_three_ret(Opcode::MOVE, Operand::Cur(0), Operand::Cur(4), Operand::Cur(4))
+            asm.emit_three(
+                Opcode::ADD,
+                Operand::Cur(3),
+                Operand::Cur(1),
+                Operand::Const(k1),
+            )
             .unwrap();
+            asm.emit_three(
+                Opcode::MUL,
+                Operand::Cur(4),
+                Operand::Cur(1),
+                Operand::Const(k1),
+            )
+            .unwrap();
+        }
+        asm.emit_three_ret(
+            Opcode::MOVE,
+            Operand::Cur(0),
+            Operand::Cur(4),
+            Operand::Cur(4),
+        )
+        .unwrap();
     });
     let mut m = machine(&img);
     let out = m.send("work", Word::Int(3), &[], 10_000).unwrap();

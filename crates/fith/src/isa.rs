@@ -126,7 +126,11 @@ mod tests {
     fn display() {
         assert_eq!(FithInstr::PushLocal(3).to_string(), "pushl 3");
         assert_eq!(
-            FithInstr::Send { op: Opcode::ADD, nargs: 1 }.to_string(),
+            FithInstr::Send {
+                op: Opcode::ADD,
+                nargs: 1
+            }
+            .to_string(),
             "send +/1"
         );
         assert_eq!(FithInstr::Jump(-4).to_string(), "jmp -4");

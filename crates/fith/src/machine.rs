@@ -185,9 +185,7 @@ impl FithMachine {
     fn class_of_word(&mut self, w: &Word) -> Result<ClassId, FithError> {
         match w.primitive_class() {
             Some(c) => Ok(c),
-            None => Ok(self
-                .space
-                .class_of(self.team, w.as_ptr().expect("ptr"))?),
+            None => Ok(self.space.class_of(self.team, w.as_ptr().expect("ptr"))?),
         }
     }
 
@@ -292,8 +290,7 @@ impl FithMachine {
             FithMethodRef::Defined(idx) => {
                 self.stats.calls += 1;
                 let method = Rc::clone(&self.methods[idx]);
-                let mut locals =
-                    vec![(Word::Uninit, ClassId::UNINIT); method.n_locals as usize];
+                let mut locals = vec![(Word::Uninit, ClassId::UNINIT); method.n_locals as usize];
                 // Pop arguments (reverse order), then the receiver.
                 for i in (0..nargs as usize).rev() {
                     locals[1 + i] = self.pop()?;
@@ -363,9 +360,9 @@ impl FithMachine {
                     opcode: op,
                     reason: "new requires an integer size",
                 })?;
-                let obj = self
-                    .space
-                    .create(self.team, class, words.max(0) as u64, AllocKind::Object)?;
+                let obj =
+                    self.space
+                        .create(self.team, class, words.max(0) as u64, AllocKind::Object)?;
                 self.push(Word::Ptr(obj), class);
                 Ok(())
             }
@@ -381,7 +378,9 @@ impl FithMachine {
                     opcode: op,
                     reason: "grow requires an integer size",
                 })?;
-                let new = self.space.grow(self.team, ptr.base(), words.max(0) as u64)?;
+                let new = self
+                    .space
+                    .grow(self.team, ptr.base(), words.max(0) as u64)?;
                 let class = self.space.class_of(self.team, new)?;
                 self.push(Word::Ptr(new), class);
                 Ok(())
@@ -409,11 +408,9 @@ impl FithMachine {
         let (instr, addr) = {
             let f = self.frames.last().ok_or(FithError::NoContext)?;
             if f.pc >= f.method.code.len() {
-                return Err(FithError::BadMethod(com_fpa::Fpa::from_raw(
-                    0,
-                    FpaFormat::COM,
-                )
-                .expect("zero fits")));
+                return Err(FithError::BadMethod(
+                    com_fpa::Fpa::from_raw(0, FpaFormat::COM).expect("zero fits"),
+                ));
             }
             (
                 f.method.code[f.pc],
@@ -482,8 +479,9 @@ impl FithMachine {
             FithInstr::JumpIfFalse(d) => {
                 let (cond, _) = self.pop()?;
                 let taken = match cond {
-                    Word::Atom(a) => !AtomTable::truthiness(a)
-                        .ok_or(FithError::BadBranchCondition(cond))?,
+                    Word::Atom(a) => {
+                        !AtomTable::truthiness(a).ok_or(FithError::BadBranchCondition(cond))?
+                    }
                     Word::Int(i) => i == 0,
                     other => return Err(FithError::BadBranchCondition(other)),
                 };
@@ -514,16 +512,25 @@ mod tests {
         let code = vec![
             FithInstr::PushLocal(0),
             FithInstr::PushConst(0), // 0
-            FithInstr::Send { op: Opcode::LE, nargs: 1 },
+            FithInstr::Send {
+                op: Opcode::LE,
+                nargs: 1,
+            },
             FithInstr::JumpIfFalse(2),
             FithInstr::PushConst(0),
             FithInstr::ReturnTop,
             FithInstr::PushLocal(0),
             FithInstr::PushLocal(0),
             FithInstr::PushConst(1), // 1
-            FithInstr::Send { op: Opcode::SUB, nargs: 1 },
+            FithInstr::Send {
+                op: Opcode::SUB,
+                nargs: 1,
+            },
             FithInstr::Send { op: sel, nargs: 0 },
-            FithInstr::Send { op: Opcode::ADD, nargs: 1 },
+            FithInstr::Send {
+                op: Opcode::ADD,
+                nargs: 1,
+            },
             FithInstr::ReturnTop,
         ];
         img.methods.push((
@@ -544,7 +551,9 @@ mod tests {
     fn recursive_sum_runs() {
         let img = sumto_image();
         let mut m = FithMachine::new(&img);
-        let out = m.send(&img, "sumto", Word::Int(100), &[], 1_000_000).unwrap();
+        let out = m
+            .send(&img, "sumto", Word::Int(100), &[], 1_000_000)
+            .unwrap();
         assert_eq!(out.result, Word::Int(5050));
         assert!(out.stats.calls >= 101);
         assert!(out.stats.peak_frames >= 100);
@@ -567,7 +576,8 @@ mod tests {
     fn itlb_eliminates_lookups_on_fith_too() {
         let img = sumto_image();
         let mut m = FithMachine::new(&img);
-        m.send(&img, "sumto", Word::Int(200), &[], 1_000_000).unwrap();
+        m.send(&img, "sumto", Word::Int(200), &[], 1_000_000)
+            .unwrap();
         let s = m.stats();
         // Hundreds of sends, only a handful of distinct (op, class) keys.
         assert!(s.sends > 600);
@@ -583,11 +593,17 @@ mod tests {
             FithInstr::PushLocal(1),
             FithInstr::PushConst(0),
             FithInstr::PushConst(1),
-            FithInstr::Send { op: Opcode::ATPUT, nargs: 2 },
+            FithInstr::Send {
+                op: Opcode::ATPUT,
+                nargs: 2,
+            },
             FithInstr::Drop,
             FithInstr::PushLocal(1),
             FithInstr::PushConst(0),
-            FithInstr::Send { op: Opcode::AT, nargs: 1 },
+            FithInstr::Send {
+                op: Opcode::AT,
+                nargs: 1,
+            },
             FithInstr::ReturnTop,
         ];
         img.methods.push((

@@ -154,10 +154,7 @@ mod tests {
         let mut a = NameAllocator::new(FpaFormat::DEMO16);
         a.alloc(11).unwrap();
         a.alloc(11).unwrap();
-        assert_eq!(
-            a.alloc(11),
-            Err(FpaError::ClassExhausted { exponent: 11 })
-        );
+        assert_eq!(a.alloc(11), Err(FpaError::ClassExhausted { exponent: 11 }));
     }
 
     #[test]

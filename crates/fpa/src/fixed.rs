@@ -76,7 +76,13 @@ impl FixedFormat {
 
 impl core::fmt::Display for FixedFormat {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        write!(f, "fixed{}(s{}/o{})", self.total_bits(), self.segment_bits, self.offset_bits)
+        write!(
+            f,
+            "fixed{}(s{}/o{})",
+            self.total_bits(),
+            self.segment_bits,
+            self.offset_bits
+        )
     }
 }
 

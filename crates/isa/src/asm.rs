@@ -55,15 +55,16 @@ impl CodeObject {
     /// # Errors
     ///
     /// Propagates allocation and write errors.
-    pub fn store(
-        &self,
-        space: &mut ObjectSpace,
-        team: TeamId,
-    ) -> Result<com_fpa::Fpa, MemError> {
+    pub fn store(&self, space: &mut ObjectSpace, team: TeamId) -> Result<com_fpa::Fpa, MemError> {
         // One pad word so a return continuation after the final instruction
         // (`pc == n_instrs`) is still encodable within the segment.
         let base = space.create(team, ClassId::INSTR, self.size_words() + 1, AllocKind::Code)?;
-        space.write_kind(team, base, Word::Int(self.instrs.len() as i64), AllocKind::Code)?;
+        space.write_kind(
+            team,
+            base,
+            Word::Int(self.instrs.len() as i64),
+            AllocKind::Code,
+        )?;
         space.write_kind(
             team,
             base.with_offset(1)?,
@@ -78,7 +79,12 @@ impl CodeObject {
         )?;
         let mut off = Self::HEADER_WORDS;
         for i in &self.instrs {
-            space.write_kind(team, base.with_offset(off)?, Word::Instr(i.encode()), AllocKind::Code)?;
+            space.write_kind(
+                team,
+                base.with_offset(off)?,
+                Word::Instr(i.encode()),
+                AllocKind::Code,
+            )?;
             off += 1;
         }
         for c in &self.consts {
@@ -306,8 +312,13 @@ mod tests {
         let mut a = Assembler::new("t", 0);
         let end = a.label();
         a.jump_if(Operand::Cur(4), end);
-        a.emit_three(Opcode::ADD, Operand::Cur(5), Operand::Cur(5), Operand::Cur(5))
-            .unwrap();
+        a.emit_three(
+            Opcode::ADD,
+            Operand::Cur(5),
+            Operand::Cur(5),
+            Operand::Cur(5),
+        )
+        .unwrap();
         a.bind(end);
         a.emit_zero(Opcode::XFER, 0, true).unwrap();
         let code = a.finish().unwrap();
@@ -315,7 +326,9 @@ mod tests {
             Instr::Three { op, c, .. } => {
                 assert_eq!(op, Opcode::FJMP);
                 // displacement: target 2 - (0 + 1) = 1
-                let Operand::Const(k) = c else { panic!("const expected") };
+                let Operand::Const(k) = c else {
+                    panic!("const expected")
+                };
                 assert_eq!(code.consts[k as usize], Word::Int(1));
             }
             other => panic!("unexpected {other:?}"),
@@ -327,15 +340,22 @@ mod tests {
         let mut a = Assembler::new("t", 0);
         let top = a.label();
         a.bind(top);
-        a.emit_three(Opcode::ADD, Operand::Cur(5), Operand::Cur(5), Operand::Cur(5))
-            .unwrap();
+        a.emit_three(
+            Opcode::ADD,
+            Operand::Cur(5),
+            Operand::Cur(5),
+            Operand::Cur(5),
+        )
+        .unwrap();
         a.jump(top);
         let code = a.finish().unwrap();
         match code.instrs[1] {
             Instr::Three { op, c, .. } => {
                 assert_eq!(op, Opcode::RJMP);
                 // displacement: target 0 - (1 + 1) = -2 → magnitude 2
-                let Operand::Const(k) = c else { panic!("const expected") };
+                let Operand::Const(k) = c else {
+                    panic!("const expected")
+                };
                 assert_eq!(code.consts[k as usize], Word::Int(2));
             }
             other => panic!("unexpected {other:?}"),
@@ -354,8 +374,13 @@ mod tests {
     fn store_layout_roundtrips() {
         let mut a = Assembler::new("t", 2);
         let k = a.intern_const(Word::Int(99));
-        a.emit_three(Opcode::MOVE, Operand::Cur(5), Operand::Cur(5), Operand::Const(k))
-            .unwrap();
+        a.emit_three(
+            Opcode::MOVE,
+            Operand::Cur(5),
+            Operand::Cur(5),
+            Operand::Const(k),
+        )
+        .unwrap();
         a.emit_zero(Opcode::XFER, 0, true).unwrap();
         let code = a.finish().unwrap();
 
@@ -378,7 +403,10 @@ mod tests {
         assert_eq!(decoded, code.instrs[0]);
         // constant follows the instruction stream
         let c = space
-            .read(team, base.with_offset(CodeObject::HEADER_WORDS + 2).unwrap())
+            .read(
+                team,
+                base.with_offset(CodeObject::HEADER_WORDS + 2).unwrap(),
+            )
             .unwrap();
         assert_eq!(c, Word::Int(99));
     }

@@ -39,7 +39,10 @@ impl core::fmt::Display for IsaError {
                 "constant mode in operand {position}; only the last operand may be constant"
             ),
             IsaError::TooManyImplicitOperands(n) => {
-                write!(f, "zero-address instruction with {n} implicit operands (max 2)")
+                write!(
+                    f,
+                    "zero-address instruction with {n} implicit operands (max 2)"
+                )
             }
             IsaError::BadEncoding(w) => write!(f, "invalid instruction encoding {w:#x}"),
             IsaError::UnresolvedLabel(l) => write!(f, "unresolved label {l}"),

@@ -268,13 +268,36 @@ mod tests {
     #[test]
     fn constant_never_in_destination() {
         assert!(matches!(
-            Instr::three(Opcode::ADD, Operand::Const(0), Operand::Cur(0), Operand::Cur(0)),
+            Instr::three(
+                Opcode::ADD,
+                Operand::Const(0),
+                Operand::Cur(0),
+                Operand::Cur(0)
+            ),
             Err(IsaError::MisplacedConstant { position: 0 })
         ));
         // Sources may both be constants (dual-ported constant generator).
-        assert!(Instr::three(Opcode::ADD, Operand::Cur(0), Operand::Const(0), Operand::Cur(0)).is_ok());
-        assert!(Instr::three(Opcode::ADD, Operand::Cur(0), Operand::Const(0), Operand::Const(1)).is_ok());
-        assert!(Instr::three(Opcode::ADD, Operand::Cur(0), Operand::Cur(0), Operand::Const(0)).is_ok());
+        assert!(Instr::three(
+            Opcode::ADD,
+            Operand::Cur(0),
+            Operand::Const(0),
+            Operand::Cur(0)
+        )
+        .is_ok());
+        assert!(Instr::three(
+            Opcode::ADD,
+            Operand::Cur(0),
+            Operand::Const(0),
+            Operand::Const(1)
+        )
+        .is_ok());
+        assert!(Instr::three(
+            Opcode::ADD,
+            Operand::Cur(0),
+            Operand::Cur(0),
+            Operand::Const(0)
+        )
+        .is_ok());
     }
 
     #[test]
@@ -292,11 +315,29 @@ mod tests {
 
     #[test]
     fn destination_excludes_jumps_and_stores() {
-        let store = Instr::three(Opcode::ATPUT, Operand::Cur(1), Operand::Cur(2), Operand::Cur(3)).unwrap();
+        let store = Instr::three(
+            Opcode::ATPUT,
+            Operand::Cur(1),
+            Operand::Cur(2),
+            Operand::Cur(3),
+        )
+        .unwrap();
         assert_eq!(store.destination(), None);
-        let jmp = Instr::three(Opcode::FJMP, Operand::Cur(0), Operand::Cur(1), Operand::Const(2)).unwrap();
+        let jmp = Instr::three(
+            Opcode::FJMP,
+            Operand::Cur(0),
+            Operand::Cur(1),
+            Operand::Const(2),
+        )
+        .unwrap();
         assert_eq!(jmp.destination(), None);
-        let add = Instr::three(Opcode::ADD, Operand::Cur(0), Operand::Cur(1), Operand::Cur(2)).unwrap();
+        let add = Instr::three(
+            Opcode::ADD,
+            Operand::Cur(0),
+            Operand::Cur(1),
+            Operand::Cur(2),
+        )
+        .unwrap();
         assert_eq!(add.destination(), Some(Operand::Cur(0)));
     }
 
@@ -323,7 +364,13 @@ mod tests {
 
     #[test]
     fn display_matches_figure9_style() {
-        let i = Instr::three(Opcode::MUL, Operand::Cur(2), Operand::Cur(1), Operand::Cur(2)).unwrap();
+        let i = Instr::three(
+            Opcode::MUL,
+            Operand::Cur(2),
+            Operand::Cur(1),
+            Operand::Cur(2),
+        )
+        .unwrap();
         assert_eq!(i.to_string(), "c2 <- c1 * c2");
     }
 }

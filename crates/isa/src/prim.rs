@@ -159,10 +159,7 @@ mod tests {
     #[test]
     fn every_standard_opcode_has_a_primitive() {
         for &(op, _) in Opcode::standard() {
-            assert!(
-                PrimOp::for_opcode(op).is_some(),
-                "no primitive for {op}"
-            );
+            assert!(PrimOp::for_opcode(op).is_some(), "no primitive for {op}");
         }
     }
 

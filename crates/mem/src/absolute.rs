@@ -2,6 +2,8 @@
 
 use std::collections::{BTreeMap, HashMap};
 
+use com_cache::FxBuildHasher;
+
 use crate::{MemError, Word};
 
 /// An address in absolute space — "a unique name identifying a particular
@@ -42,7 +44,7 @@ pub struct BuddyAllocator {
     /// Free block base addresses per order (order = log2 of block words).
     free_lists: Vec<Vec<u64>>,
     /// Base address → order, for every live allocation.
-    live: HashMap<u64, u8>,
+    live: HashMap<u64, u8, FxBuildHasher>,
     allocated_words: u64,
     peak_words: u64,
 }
@@ -60,7 +62,7 @@ impl BuddyAllocator {
         BuddyAllocator {
             space_log2,
             free_lists,
-            live: HashMap::new(),
+            live: HashMap::default(),
             allocated_words: 0,
             peak_words: 0,
         }
@@ -163,11 +165,20 @@ impl BuddyAllocator {
 /// equivalent of "it is impossible to express an erroneous operation".
 #[derive(Debug)]
 pub struct AbsoluteMemory {
-    words: HashMap<u64, Word>,
+    words: HashMap<u64, Word, FxBuildHasher>,
     buddy: BuddyAllocator,
     /// base → words (power of two), for bounds checking; BTreeMap so a
     /// containing block can be found by range query.
     blocks: BTreeMap<u64, u64>,
+    /// The last block a bounds check hit: `(base, words)`. Accesses have
+    /// strong block locality (context words, the current method), so this
+    /// memo removes the tree walk from nearly every access. Invalidated on
+    /// any free (a memo hit must imply liveness; allocation only adds
+    /// blocks, so it cannot stale the memo).
+    last_block: std::cell::Cell<(u64, u64)>,
+    /// Disable the memo (pre-overhaul bounds checking: every access walks
+    /// the tree). The wall-clock bench baseline opts in.
+    reference: bool,
     reads: u64,
     writes: u64,
 }
@@ -176,9 +187,11 @@ impl AbsoluteMemory {
     /// Creates a memory of `2^space_log2` words.
     pub fn new(space_log2: u8) -> Self {
         AbsoluteMemory {
-            words: HashMap::new(),
+            words: HashMap::default(),
             buddy: BuddyAllocator::new(space_log2),
             blocks: BTreeMap::new(),
+            last_block: std::cell::Cell::new((0, 0)),
+            reference: false,
             reads: 0,
             writes: 0,
         }
@@ -211,6 +224,7 @@ impl AbsoluteMemory {
         let order = order_for(words);
         self.buddy.free(base, order)?;
         self.blocks.remove(&base.0);
+        self.last_block.set((0, 0));
         for a in base.0..base.0 + words {
             self.words.remove(&a);
         }
@@ -222,9 +236,22 @@ impl AbsoluteMemory {
         self.blocks.get(&base.0).copied()
     }
 
+    /// Selects the pre-overhaul bounds-check path (no memo).
+    pub fn set_reference_paths(&mut self, reference: bool) {
+        self.reference = reference;
+        self.last_block.set((0, 0));
+    }
+
     fn check_mapped(&self, addr: AbsAddr) -> Result<(), MemError> {
+        let (base, words) = self.last_block.get();
+        if !self.reference && addr.0.wrapping_sub(base) < words {
+            return Ok(());
+        }
         match self.blocks.range(..=addr.0).next_back() {
-            Some((&base, &words)) if addr.0 < base + words => Ok(()),
+            Some((&base, &words)) if addr.0 < base + words => {
+                self.last_block.set((base, words));
+                Ok(())
+            }
             _ => Err(MemError::UnmappedAbsolute(addr)),
         }
     }

@@ -83,10 +83,9 @@ impl core::fmt::Display for MemError {
                 f,
                 "bounds trap at {addr}: offset {offset} beyond segment length {length}"
             ),
-            MemError::GrowthForward { old, new } => write!(
-                f,
-                "growth forwarding trap: {old} must be replaced by {new}"
-            ),
+            MemError::GrowthForward { old, new } => {
+                write!(f, "growth forwarding trap: {old} must be replaced by {new}")
+            }
             MemError::OutOfAbsoluteSpace { words } => {
                 write!(f, "absolute space exhausted allocating {words} words")
             }

@@ -8,7 +8,7 @@
 
 use std::collections::HashMap;
 
-use com_cache::{CacheConfig, CacheStats, SetAssocCache};
+use com_cache::{CacheConfig, CacheStats, FlatCache, SetAssocCache};
 use com_fpa::{Fpa, FpaFormat, SegmentName};
 
 use crate::{AbsAddr, ClassId, MemError, SegmentDescriptor, TeamId, TeamSpace};
@@ -25,12 +25,66 @@ pub struct Translation {
     pub atlb_hit: bool,
 }
 
+/// ATLB storage: the flat probe array, or the pre-overhaul generic cache
+/// (kept for the bench baseline). Architecturally interchangeable.
+#[derive(Debug)]
+enum Atlb {
+    Flat(FlatCache<(TeamId, SegmentName), SegmentDescriptor>),
+    Reference(SetAssocCache<(TeamId, SegmentName), SegmentDescriptor>),
+}
+
+impl Atlb {
+    #[inline]
+    fn lookup(&mut self, key: &(TeamId, SegmentName)) -> Option<&SegmentDescriptor> {
+        match self {
+            Atlb::Flat(c) => c.lookup(key),
+            Atlb::Reference(c) => c.lookup(key),
+        }
+    }
+
+    fn fill(&mut self, key: (TeamId, SegmentName), desc: SegmentDescriptor) {
+        match self {
+            Atlb::Flat(c) => {
+                c.fill(key, desc);
+            }
+            Atlb::Reference(c) => {
+                c.fill(key, desc);
+            }
+        }
+    }
+
+    fn invalidate(&mut self, key: &(TeamId, SegmentName)) {
+        match self {
+            Atlb::Flat(c) => {
+                c.invalidate(key);
+            }
+            Atlb::Reference(c) => {
+                c.invalidate(key);
+            }
+        }
+    }
+
+    fn stats(&self) -> CacheStats {
+        match self {
+            Atlb::Flat(c) => c.stats(),
+            Atlb::Reference(c) => c.stats(),
+        }
+    }
+
+    fn reset_stats(&mut self) {
+        match self {
+            Atlb::Flat(c) => c.reset_stats(),
+            Atlb::Reference(c) => c.reset_stats(),
+        }
+    }
+}
+
 /// The memory management unit: team spaces plus the ATLB.
 #[derive(Debug)]
 pub struct Mmu {
     format: FpaFormat,
     teams: HashMap<TeamId, TeamSpace>,
-    atlb: SetAssocCache<(TeamId, SegmentName), SegmentDescriptor>,
+    atlb: Atlb,
     bounds_traps: u64,
     forward_traps: u64,
 }
@@ -51,10 +105,28 @@ impl Mmu {
         Mmu {
             format,
             teams: HashMap::new(),
-            atlb: SetAssocCache::new(atlb),
+            // The ATLB is probed on every translation — it lives in a
+            // flat probe array with the fast hash. The exact conflict
+            // mapping is not a recorded figure (unlike the trace-replay
+            // caches), so the hash change is fair game.
+            atlb: Atlb::Flat(FlatCache::new(atlb)),
             bounds_traps: 0,
             forward_traps: 0,
         }
+    }
+
+    /// Switches the ATLB to the pre-overhaul generic cache storage (the
+    /// wall-clock bench baseline). Drops current ATLB contents.
+    pub fn set_reference_paths(&mut self, reference: bool) {
+        let cfg = match &self.atlb {
+            Atlb::Flat(c) => c.config(),
+            Atlb::Reference(c) => c.config(),
+        };
+        self.atlb = if reference {
+            Atlb::Reference(SetAssocCache::new(cfg))
+        } else {
+            Atlb::Flat(FlatCache::new(cfg))
+        };
     }
 
     /// The address format in use.
@@ -136,9 +208,7 @@ impl Mmu {
         }
         if let Some(fwd) = desc.forward {
             self.forward_traps += 1;
-            let new = fwd
-                .with_offset(offset)
-                .unwrap_or_else(|_| fwd.base());
+            let new = fwd.with_offset(offset).unwrap_or_else(|_| fwd.base());
             return Err(MemError::GrowthForward { old: addr, new });
         }
         self.bounds_traps += 1;
@@ -236,9 +306,7 @@ mod tests {
     #[test]
     fn translate_ors_offset_into_base() {
         let (mut mmu, team, addr) = setup();
-        let t = mmu
-            .translate(team, addr.with_offset(5).unwrap())
-            .unwrap();
+        let t = mmu.translate(team, addr.with_offset(5).unwrap()).unwrap();
         assert_eq!(t.abs, AbsAddr(0x45));
         assert_eq!(t.class, ClassId(9));
         assert!(!t.atlb_hit, "first access misses the ATLB");
@@ -253,7 +321,11 @@ mod tests {
         let bad = addr.with_offset(25).unwrap();
         assert!(matches!(
             mmu.translate(team, bad),
-            Err(MemError::Bounds { offset: 25, length: 20, .. })
+            Err(MemError::Bounds {
+                offset: 25,
+                length: 20,
+                ..
+            })
         ));
         assert_eq!(mmu.bounds_traps(), 1);
     }

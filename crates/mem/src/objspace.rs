@@ -149,6 +149,14 @@ impl ObjectSpace {
         &mut self.mem
     }
 
+    /// Switches the memory system's hot paths to their pre-overhaul forms
+    /// (ATLB generic-cache storage, unmemoized bounds checks) — the
+    /// wall-clock bench baseline. Architecturally identical either way.
+    pub fn set_reference_paths(&mut self, reference: bool) {
+        self.mem.set_reference_paths(reference);
+        self.mmu.set_reference_paths(reference);
+    }
+
     /// Allocation statistics for experiment T5.
     pub fn stats(&self) -> AllocStats {
         self.stats
@@ -182,8 +190,10 @@ impl ObjectSpace {
                 return Err(e.into());
             }
         };
-        ts.table
-            .insert(addr.segment(), SegmentDescriptor::new(base_abs, words.max(1), class));
+        ts.table.insert(
+            addr.segment(),
+            SegmentDescriptor::new(base_abs, words.max(1), class),
+        );
         let i = AllocStats::idx(kind);
         self.stats.allocs[i] += 1;
         self.stats.words[i] += words.max(1);
@@ -300,7 +310,12 @@ impl ObjectSpace {
     /// # Errors
     ///
     /// Propagates translation and mapping errors.
-    pub fn read_kind(&mut self, team: TeamId, addr: Fpa, kind: AllocKind) -> Result<Word, MemError> {
+    pub fn read_kind(
+        &mut self,
+        team: TeamId,
+        addr: Fpa,
+        kind: AllocKind,
+    ) -> Result<Word, MemError> {
         let t = self.translate(team, addr)?;
         self.stats.references[AllocStats::idx(kind)] += 1;
         self.mem.read(t.abs)
@@ -404,8 +419,12 @@ mod tests {
     fn create_read_write_free() {
         let mut s = space();
         let obj = s.create(TEAM, ClassId(9), 8, AllocKind::Object).unwrap();
-        s.write(TEAM, obj.with_offset(2).unwrap(), Word::Int(5)).unwrap();
-        assert_eq!(s.read(TEAM, obj.with_offset(2).unwrap()).unwrap(), Word::Int(5));
+        s.write(TEAM, obj.with_offset(2).unwrap(), Word::Int(5))
+            .unwrap();
+        assert_eq!(
+            s.read(TEAM, obj.with_offset(2).unwrap()).unwrap(),
+            Word::Int(5)
+        );
         assert_eq!(s.class_of(TEAM, obj).unwrap(), ClassId(9));
         assert_eq!(s.length_of(TEAM, obj).unwrap(), 8);
         s.free(TEAM, obj, AllocKind::Object).unwrap();
@@ -417,9 +436,15 @@ mod tests {
         let mut s = space();
         let ctx = s.create(TEAM, ClassId(8), 32, AllocKind::Context).unwrap();
         let obj = s.create(TEAM, ClassId(9), 4, AllocKind::Object).unwrap();
-        s.write_kind(TEAM, ctx, Word::Int(1), AllocKind::Context).unwrap();
-        s.write_kind(TEAM, ctx.with_offset(1).unwrap(), Word::Int(2), AllocKind::Context)
+        s.write_kind(TEAM, ctx, Word::Int(1), AllocKind::Context)
             .unwrap();
+        s.write_kind(
+            TEAM,
+            ctx.with_offset(1).unwrap(),
+            Word::Int(2),
+            AllocKind::Context,
+        )
+        .unwrap();
         s.read_kind(TEAM, obj, AllocKind::Object).unwrap();
         let st = s.stats();
         assert_eq!(st.allocs_of(AllocKind::Context), 1);
@@ -452,7 +477,8 @@ mod tests {
             );
         }
         // Writing through the old name is visible through the new one.
-        s.write(TEAM, obj.with_offset(1).unwrap(), Word::Int(-1)).unwrap();
+        s.write(TEAM, obj.with_offset(1).unwrap(), Word::Int(-1))
+            .unwrap();
         assert_eq!(
             s.read(TEAM, new.with_offset(1).unwrap()).unwrap(),
             Word::Int(-1)
@@ -464,7 +490,8 @@ mod tests {
         let mut s = space();
         let obj = s.create(TEAM, ClassId(9), 4, AllocKind::Object).unwrap();
         let new = s.grow(TEAM, obj, 40).unwrap();
-        s.write(TEAM, new.with_offset(20).unwrap(), Word::Int(99)).unwrap();
+        s.write(TEAM, new.with_offset(20).unwrap(), Word::Int(99))
+            .unwrap();
         // A stale pointer cannot even *encode* offset 20 (old capacity 4);
         // but offsets inside the old capacity beyond old length trap+forward.
         assert_eq!(s.repairs(), 0);

@@ -2,6 +2,8 @@
 
 use std::collections::HashMap;
 
+use com_cache::FxBuildHasher;
+
 use com_fpa::{Fpa, FpaFormat, NameAllocator, SegmentName};
 
 use crate::{AbsAddr, ClassId};
@@ -52,7 +54,7 @@ impl SegmentDescriptor {
 /// A team's segment descriptor table: segment name → descriptor.
 #[derive(Debug, Clone, Default)]
 pub struct SegmentTable {
-    entries: HashMap<SegmentName, SegmentDescriptor>,
+    entries: HashMap<SegmentName, SegmentDescriptor, FxBuildHasher>,
 }
 
 impl SegmentTable {

@@ -103,9 +103,10 @@ impl core::fmt::Display for ClassId {
 /// assert_eq!(w.as_int(), Some(42));
 /// assert_eq!(w.as_float(), None);
 /// ```
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 pub enum Word {
     /// Never-written word; reading one into an operand is a machine trap.
+    #[default]
     Uninit,
     /// Immediate small integer.
     Int(i64),
@@ -195,12 +196,6 @@ impl Word {
             Word::Float(x) => Some(*x),
             _ => None,
         }
-    }
-}
-
-impl Default for Word {
-    fn default() -> Self {
-        Word::Uninit
     }
 }
 

@@ -6,8 +6,17 @@
 //! translation. This is an instruction translation lookaside buffer (ITLB),
 //! in which an opcode and the set of operand object datatypes are associated
 //! to a method."
+//!
+//! The first level is a fixed-size probe array — the direct-mapped /
+//! set-associative RAM the hardware actually describes: the key is packed
+//! into one word, a multiplicative hash selects the set, and the ways of
+//! that set are probed in place. No per-lookup heap hashing is involved,
+//! which matters because *every* COM instruction translates through this
+//! structure. The legacy map-backed storage is kept behind
+//! [`ItlbConfig::with_reference_storage`] as the pre-overhaul baseline for
+//! the wall-clock bench pipeline.
 
-use com_cache::{CacheConfig, CacheError, CacheStats, SetAssocCache};
+use com_cache::{CacheConfig, CacheError, CacheStats, Replacement, SetAssocCache};
 use com_isa::Opcode;
 use com_mem::ClassId;
 
@@ -41,11 +50,30 @@ impl ItlbKey {
             classes: [receiver, arg],
         }
     }
+
+    /// Packs the key into one tag word: opcode in bits 0..16, receiver
+    /// class in 16..32, argument class in 32..48. The packing is injective,
+    /// so tag equality is key equality.
+    fn pack(self) -> u64 {
+        self.opcode.0 as u64 | (self.classes[0].0 as u64) << 16 | (self.classes[1].0 as u64) << 32
+    }
+
+    /// Inverse of [`pack`](Self::pack).
+    fn unpack(tag: u64) -> Self {
+        ItlbKey {
+            opcode: Opcode(tag as u16),
+            classes: [ClassId((tag >> 16) as u16), ClassId((tag >> 32) as u16)],
+        }
+    }
 }
 
 impl core::fmt::Display for ItlbKey {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        write!(f, "({} {} {})", self.opcode, self.classes[0], self.classes[1])
+        write!(
+            f,
+            "({} {} {})",
+            self.opcode, self.classes[0], self.classes[1]
+        )
     }
 }
 
@@ -60,6 +88,16 @@ pub struct ItlbConfig {
     pub l1: CacheConfig,
     /// Optional second-level geometry (in main memory; slower but larger).
     pub l2: Option<CacheConfig>,
+    /// Use the legacy map-backed L1 storage instead of the probe array.
+    /// Same geometry and replacement policy, but the two storages hash
+    /// keys to sets differently (SipHash vs the packed-key Fibonacci
+    /// hash), so conflict evictions — and therefore miss counts — can
+    /// differ once a working set collides within sets. They are exactly
+    /// equivalent when fully associative (tested), and in practice for
+    /// working sets well under capacity; the bench pipeline asserts the
+    /// simulated stats matched on every workload it reports. Exists so
+    /// the bench can measure the pre-overhaul interpreter.
+    pub reference_storage: bool,
 }
 
 impl ItlbConfig {
@@ -74,6 +112,7 @@ impl ItlbConfig {
         Ok(ItlbConfig {
             l1: CacheConfig::new(512, 2)?,
             l2: None,
+            reference_storage: false,
         })
     }
 
@@ -86,6 +125,12 @@ impl ItlbConfig {
         self.l2 = Some(CacheConfig::new(entries, ways)?);
         Ok(self)
     }
+
+    /// Selects the legacy map-backed first-level storage (bench baseline).
+    pub fn with_reference_storage(mut self) -> Self {
+        self.reference_storage = true;
+        self
+    }
 }
 
 /// Where an ITLB lookup was satisfied.
@@ -97,6 +142,160 @@ pub enum ItlbHit {
     L2,
     /// Missed everywhere: full method lookup required.
     Miss,
+}
+
+/// One valid line of the probe array.
+#[derive(Debug, Clone, Copy)]
+struct ProbeLine {
+    tag: u64,
+    value: MethodRef,
+    /// Monotonic counter value at last use (LRU) …
+    last_used: u64,
+    /// … and at fill time (FIFO).
+    filled_at: u64,
+}
+
+/// The fixed-size probe array backing the first level: `sets × ways` lines
+/// in one flat allocation, indexed by a multiplicative hash of the packed
+/// key. `ways == 1` is the direct-mapped case; larger `ways` probe the
+/// set's lines linearly, exactly as the hardware comparators would.
+#[derive(Debug)]
+struct ProbeArray {
+    config: CacheConfig,
+    sets: usize,
+    /// `sets - 1` when the set count is a power of two (single AND), else 0
+    /// (fall back to modulo).
+    mask: u64,
+    ways: usize,
+    lines: Vec<Option<ProbeLine>>,
+    clock: u64,
+    rng: u64,
+    stats: CacheStats,
+}
+
+impl ProbeArray {
+    fn new(config: CacheConfig) -> Self {
+        let sets = config.sets();
+        let ways = config.ways();
+        ProbeArray {
+            config,
+            sets,
+            mask: if sets.is_power_of_two() {
+                sets as u64 - 1
+            } else {
+                0
+            },
+            ways,
+            lines: vec![None; sets * ways],
+            clock: 0,
+            rng: config.seed(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    #[inline]
+    fn set_base(&self, tag: u64) -> usize {
+        // Fibonacci hashing: one multiply, top bits mod the set count.
+        let h = tag.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32;
+        let set = if self.mask != 0 {
+            (h & self.mask) as usize
+        } else {
+            h as usize % self.sets
+        };
+        set * self.ways
+    }
+
+    #[inline]
+    fn lookup(&mut self, key: ItlbKey) -> Option<MethodRef> {
+        self.clock += 1;
+        let tag = key.pack();
+        let base = self.set_base(tag);
+        for l in self.lines[base..base + self.ways].iter_mut().flatten() {
+            if l.tag == tag {
+                l.last_used = self.clock;
+                self.stats.hits += 1;
+                return Some(l.value);
+            }
+        }
+        self.stats.misses += 1;
+        None
+    }
+
+    fn fill(&mut self, key: ItlbKey, value: MethodRef) -> Option<(ItlbKey, MethodRef)> {
+        self.clock += 1;
+        self.stats.fills += 1;
+        let tag = key.pack();
+        let base = self.set_base(tag);
+        let slot = &mut self.lines[base..base + self.ways];
+        // Refill in place, or take the first invalid way.
+        for line in slot.iter_mut() {
+            match line {
+                Some(l) if l.tag == tag => {
+                    l.value = value;
+                    l.last_used = self.clock;
+                    return None;
+                }
+                _ => {}
+            }
+        }
+        for line in slot.iter_mut() {
+            if line.is_none() {
+                *line = Some(ProbeLine {
+                    tag,
+                    value,
+                    last_used: self.clock,
+                    filled_at: self.clock,
+                });
+                return None;
+            }
+        }
+        // Set full: evict per the configured policy.
+        let victim = match self.config.replacement() {
+            Replacement::Lru => slot
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, l)| l.expect("set is full").last_used)
+                .map(|(i, _)| i)
+                .expect("set is nonempty"),
+            Replacement::Fifo => slot
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, l)| l.expect("set is full").filled_at)
+                .map(|(i, _)| i)
+                .expect("set is nonempty"),
+            Replacement::Random => {
+                // xorshift64*
+                self.rng ^= self.rng << 13;
+                self.rng ^= self.rng >> 7;
+                self.rng ^= self.rng << 17;
+                (self.rng % self.ways as u64) as usize
+            }
+        };
+        self.stats.evictions += 1;
+        let old = slot[victim].replace(ProbeLine {
+            tag,
+            value,
+            last_used: self.clock,
+            filled_at: self.clock,
+        });
+        old.map(|l| (ItlbKey::unpack(l.tag), l.value))
+    }
+
+    fn clear(&mut self) {
+        self.lines.iter_mut().for_each(|l| *l = None);
+    }
+
+    /// Resident line count (diagnostics).
+    fn len(&self) -> usize {
+        self.lines.iter().filter(|l| l.is_some()).count()
+    }
+}
+
+/// First-level storage: the probe array, or the legacy map-backed cache.
+#[derive(Debug)]
+enum L1 {
+    Probe(ProbeArray),
+    Reference(SetAssocCache<ItlbKey, MethodRef>),
 }
 
 /// The ITLB: a (possibly two-level) cache from [`ItlbKey`] to [`MethodRef`].
@@ -118,7 +317,7 @@ pub enum ItlbHit {
 /// ```
 #[derive(Debug)]
 pub struct Itlb {
-    l1: SetAssocCache<ItlbKey, MethodRef>,
+    l1: L1,
     l2: Option<SetAssocCache<ItlbKey, MethodRef>>,
     last_hit: ItlbHit,
 }
@@ -127,24 +326,44 @@ impl Itlb {
     /// Creates an ITLB with the given geometry.
     pub fn new(config: ItlbConfig) -> Self {
         Itlb {
-            l1: SetAssocCache::new(config.l1),
+            l1: if config.reference_storage {
+                L1::Reference(SetAssocCache::new(config.l1))
+            } else {
+                L1::Probe(ProbeArray::new(config.l1))
+            },
             l2: config.l2.map(SetAssocCache::new),
             last_hit: ItlbHit::Miss,
         }
     }
 
-    /// Looks up a key; L2 hits are promoted into L1 (victims demoted).
-    pub fn lookup(&mut self, key: ItlbKey) -> Option<MethodRef> {
-        if let Some(m) = self.l1.lookup(&key) {
-            self.last_hit = ItlbHit::L1;
-            return Some(*m);
+    #[inline]
+    fn l1_lookup(&mut self, key: ItlbKey) -> Option<MethodRef> {
+        match &mut self.l1 {
+            L1::Probe(p) => p.lookup(key),
+            L1::Reference(c) => c.lookup(&key).copied(),
         }
-        if let Some(l2) = &mut self.l2 {
-            if let Some(m) = l2.lookup(&key) {
-                let m = *m;
+    }
+
+    fn l1_fill(&mut self, key: ItlbKey, value: MethodRef) -> Option<(ItlbKey, MethodRef)> {
+        match &mut self.l1 {
+            L1::Probe(p) => p.fill(key, value),
+            L1::Reference(c) => c.fill(key, value),
+        }
+    }
+
+    /// Looks up a key; L2 hits are promoted into L1 (victims demoted).
+    #[inline]
+    pub fn lookup(&mut self, key: ItlbKey) -> Option<MethodRef> {
+        if let Some(m) = self.l1_lookup(key) {
+            self.last_hit = ItlbHit::L1;
+            return Some(m);
+        }
+        if self.l2.is_some() {
+            let hit = self.l2.as_mut().expect("checked").lookup(&key).copied();
+            if let Some(m) = hit {
                 self.last_hit = ItlbHit::L2;
-                if let Some((vk, vv)) = self.l1.fill(key, m) {
-                    l2.fill(vk, vv);
+                if let Some((vk, vv)) = self.l1_fill(key, m) {
+                    self.l2.as_mut().expect("checked").fill(vk, vv);
                 }
                 return Some(m);
             }
@@ -160,7 +379,7 @@ impl Itlb {
 
     /// Installs a resolution after a miss; L1 victims demote to L2.
     pub fn fill(&mut self, key: ItlbKey, method: MethodRef) {
-        if let Some((vk, vv)) = self.l1.fill(key, method) {
+        if let Some((vk, vv)) = self.l1_fill(key, method) {
             if let Some(l2) = &mut self.l2 {
                 l2.fill(vk, vv);
             }
@@ -174,15 +393,29 @@ impl Itlb {
     /// redefined — "no object code need ever be modified", §2.1, but stale
     /// translations must go).
     pub fn flush(&mut self) {
-        self.l1.clear();
+        match &mut self.l1 {
+            L1::Probe(p) => p.clear(),
+            L1::Reference(c) => c.clear(),
+        }
         if let Some(l2) = &mut self.l2 {
             l2.clear();
         }
     }
 
+    /// Number of resolutions resident in the first level.
+    pub fn l1_len(&self) -> usize {
+        match &self.l1 {
+            L1::Probe(p) => p.len(),
+            L1::Reference(c) => c.len(),
+        }
+    }
+
     /// First-level statistics.
     pub fn l1_stats(&self) -> CacheStats {
-        self.l1.stats()
+        match &self.l1 {
+            L1::Probe(p) => p.stats,
+            L1::Reference(c) => c.stats(),
+        }
     }
 
     /// Second-level statistics, if a second level exists.
@@ -192,7 +425,10 @@ impl Itlb {
 
     /// Resets statistics on both levels (warmup boundary, §5).
     pub fn reset_stats(&mut self) {
-        self.l1.reset_stats();
+        match &mut self.l1 {
+            L1::Probe(p) => p.stats = CacheStats::default(),
+            L1::Reference(c) => c.reset_stats(),
+        }
         if let Some(l2) = &mut self.l2 {
             l2.reset_stats();
         }
@@ -212,27 +448,51 @@ mod tests {
         MethodRef::Primitive(PrimOp::Add)
     }
 
+    fn both_storages() -> Vec<Itlb> {
+        let cfg = ItlbConfig::paper_default().unwrap();
+        vec![Itlb::new(cfg), Itlb::new(cfg.with_reference_storage())]
+    }
+
     #[test]
     fn fill_then_hit() {
-        let mut itlb = Itlb::new(ItlbConfig::paper_default().unwrap());
-        assert_eq!(itlb.lookup(key(1, 1)), None);
-        assert_eq!(itlb.last_hit(), ItlbHit::Miss);
-        itlb.fill(key(1, 1), add());
-        assert_eq!(itlb.lookup(key(1, 1)), Some(add()));
-        assert_eq!(itlb.last_hit(), ItlbHit::L1);
-        assert_eq!(itlb.l1_stats().hits, 1);
+        for mut itlb in both_storages() {
+            assert_eq!(itlb.lookup(key(1, 1)), None);
+            assert_eq!(itlb.last_hit(), ItlbHit::Miss);
+            itlb.fill(key(1, 1), add());
+            assert_eq!(itlb.lookup(key(1, 1)), Some(add()));
+            assert_eq!(itlb.last_hit(), ItlbHit::L1);
+            assert_eq!(itlb.l1_stats().hits, 1);
+        }
+    }
+
+    #[test]
+    fn key_packing_is_injective() {
+        let keys = [
+            key(1, 1),
+            key(1, 2),
+            key(2, 1),
+            ItlbKey::unary(Opcode(1), ClassId(1)),
+            ItlbKey::unary(Opcode(0x3FF), ClassId(0xFFFF)),
+        ];
+        for a in keys {
+            assert_eq!(ItlbKey::unpack(a.pack()), a);
+            for b in keys {
+                assert_eq!(a.pack() == b.pack(), a == b);
+            }
+        }
     }
 
     #[test]
     fn distinct_class_signatures_are_distinct_entries() {
-        let mut itlb = Itlb::new(ItlbConfig::paper_default().unwrap());
-        itlb.fill(key(1, 1), add());
-        assert_eq!(itlb.lookup(key(1, 2)), None, "different receiver class");
-        assert_eq!(
-            itlb.lookup(ItlbKey::unary(Opcode(1), ClassId(1))),
-            None,
-            "different arity signature"
-        );
+        for mut itlb in both_storages() {
+            itlb.fill(key(1, 1), add());
+            assert_eq!(itlb.lookup(key(1, 2)), None, "different receiver class");
+            assert_eq!(
+                itlb.lookup(ItlbKey::unary(Opcode(1), ClassId(1))),
+                None,
+                "different arity signature"
+            );
+        }
     }
 
     #[test]
@@ -240,6 +500,7 @@ mod tests {
         let cfg = ItlbConfig {
             l1: CacheConfig::new(2, 2).unwrap(),
             l2: Some(CacheConfig::new(64, 2).unwrap()),
+            reference_storage: false,
         };
         let mut itlb = Itlb::new(cfg);
         // Fill three keys: one must be evicted from the tiny L1 into L2.
@@ -262,9 +523,11 @@ mod tests {
 
     #[test]
     fn flush_clears_everything() {
-        let mut itlb = Itlb::new(ItlbConfig::paper_default().unwrap());
-        itlb.fill(key(1, 1), add());
-        itlb.flush();
-        assert_eq!(itlb.lookup(key(1, 1)), None);
+        for mut itlb in both_storages() {
+            itlb.fill(key(1, 1), add());
+            itlb.flush();
+            assert_eq!(itlb.lookup(key(1, 1)), None);
+            assert_eq!(itlb.l1_len(), 0);
+        }
     }
 }

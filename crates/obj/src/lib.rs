@@ -35,6 +35,6 @@ mod method;
 pub use atoms::AtomTable;
 pub use class::{install_standard_primitives, ClassInfo, ClassTable};
 pub use dict::MessageDictionary;
-pub use itlb::{Itlb, ItlbConfig, ItlbKey};
+pub use itlb::{Itlb, ItlbConfig, ItlbHit, ItlbKey};
 pub use lookup::{lookup_method, LookupCost, LookupOutcome};
 pub use method::{DefinedMethod, MethodRef};

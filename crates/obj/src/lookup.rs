@@ -37,6 +37,11 @@ pub struct LookupOutcome {
     pub classes_visited: u32,
     /// Total hash probes across all dictionaries consulted.
     pub probes: u32,
+    /// The walk revisited a class: the table's superclass chain contains a
+    /// cycle (a corrupted table). `method` is `None`, but the condition is
+    /// distinct from does-not-understand — callers should trap it as table
+    /// corruption, not as a missing method.
+    pub cycle: bool,
 }
 
 impl LookupOutcome {
@@ -59,13 +64,23 @@ pub fn lookup_method(classes: &ClassTable, class: ClassId, selector: Opcode) -> 
         method: None,
         classes_visited: 0,
         probes: 0,
+        cycle: false,
     };
+    // Classes already visited: a repeat means the superclass chain of a
+    // corrupted table loops, which must be reported as corruption rather
+    // than mistaken for does-not-understand. Chains are short, so a linear
+    // scan beats a hash set; the walk terminates because every iteration
+    // either revisits (cycle) or grows the visited list, which is bounded
+    // by the table size.
+    let mut visited: Vec<ClassId> = Vec::with_capacity(8);
     let mut cur = Some(class);
-    // Defensive bound: class chains are short; 64 guards against accidental
-    // cycles in a corrupted table.
-    for _ in 0..64 {
-        let Some(c) = cur else { break };
+    while let Some(c) = cur {
         let Some(info) = classes.get(c) else { break };
+        if visited.contains(&c) {
+            outcome.cycle = true;
+            break;
+        }
+        visited.push(c);
         outcome.classes_visited += 1;
         let (m, probes) = info.dict.lookup(selector);
         outcome.probes += probes;
@@ -127,11 +142,41 @@ mod tests {
     }
 
     #[test]
+    fn superclass_cycle_is_reported_as_corruption() {
+        let mut t = ClassTable::new();
+        install_standard_primitives(&mut t);
+        let a = t.define("A", Some(ClassTable::OBJECT), 0).unwrap();
+        let b = t.define("B", Some(a), 0).unwrap();
+        // Corrupt the table: A's superclass chain loops back through B.
+        t.get_mut(a).unwrap().superclass = Some(b);
+        let out = lookup_method(&t, b, Opcode::MUL);
+        assert!(out.cycle, "loop must be flagged as corruption");
+        assert_eq!(out.method, None);
+        // Each class is visited exactly once before the repeat is caught.
+        assert_eq!(out.classes_visited, 2);
+        // A healthy miss on the same selector stays a plain DNU.
+        let healthy = lookup_method(&t, ClassId::ATOM, Opcode::MUL);
+        assert!(!healthy.cycle);
+    }
+
+    #[test]
+    fn self_cycle_is_reported() {
+        let mut t = ClassTable::new();
+        install_standard_primitives(&mut t);
+        let a = t.define("A", Some(ClassTable::OBJECT), 0).unwrap();
+        t.get_mut(a).unwrap().superclass = Some(a);
+        let out = lookup_method(&t, a, Opcode::MUL);
+        assert!(out.cycle);
+        assert_eq!(out.classes_visited, 1);
+    }
+
+    #[test]
     fn cost_model_scales() {
         let out = LookupOutcome {
             method: None,
             classes_visited: 3,
             probes: 5,
+            cycle: false,
         };
         let cost = out.cost_cycles(LookupCost::default());
         assert_eq!(cost, 3 * 4 + 5 * 8);

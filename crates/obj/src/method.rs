@@ -10,6 +10,37 @@ pub struct DefinedMethod {
     pub code: Fpa,
     /// Number of arguments (receiver counts as argument 1, §4).
     pub n_args: u8,
+    /// Index into the executing machine's decoded-method slab, or
+    /// [`DefinedMethod::UNRESOLVED`]. Dictionary entries start unresolved;
+    /// the machine resolves the slot on first dispatch and installs the
+    /// resolved reference in its ITLB, so a translation hit reaches the
+    /// decoded code by one array index instead of a hash probe.
+    pub slab: u32,
+}
+
+impl DefinedMethod {
+    /// Sentinel slab index: the method has not been decoded yet.
+    pub const UNRESOLVED: u32 = u32::MAX;
+
+    /// A method reference that has not been decoded by any machine.
+    pub fn new(code: Fpa, n_args: u8) -> Self {
+        DefinedMethod {
+            code,
+            n_args,
+            slab: Self::UNRESOLVED,
+        }
+    }
+
+    /// The same reference carrying a decoded-slab index.
+    pub fn resolved(mut self, slab: u32) -> Self {
+        self.slab = slab;
+        self
+    }
+
+    /// Whether [`slab`](Self::slab) names a decoded-slab entry.
+    pub fn is_resolved(&self) -> bool {
+        self.slab != Self::UNRESOLVED
+    }
 }
 
 /// What an (opcode, classes) pair resolves to.
@@ -72,9 +103,21 @@ mod tests {
         assert_eq!(p.as_defined(), None);
 
         let code = Fpa::from_raw(0x40, FpaFormat::COM).unwrap();
-        let d = MethodRef::Defined(DefinedMethod { code, n_args: 2 });
+        let d = MethodRef::Defined(DefinedMethod::new(code, 2));
         assert!(!d.is_primitive());
         assert_eq!(d.as_defined().unwrap().n_args, 2);
         assert_eq!(d.as_primitive(), None);
+    }
+
+    #[test]
+    fn slab_resolution() {
+        let code = Fpa::from_raw(0x40, FpaFormat::COM).unwrap();
+        let d = DefinedMethod::new(code, 2);
+        assert!(!d.is_resolved());
+        let r = d.resolved(7);
+        assert!(r.is_resolved());
+        assert_eq!(r.slab, 7);
+        // Resolution does not change the method's identity fields.
+        assert_eq!((r.code, r.n_args), (d.code, d.n_args));
     }
 }

@@ -230,9 +230,9 @@ impl<'a> MethodGen<'a> {
             };
             self.emit_return(v)?;
         }
-        Ok(std::mem::replace(&mut self.asm, Assembler::new("done", 0))
+        std::mem::replace(&mut self.asm, Assembler::new("done", 0))
             .finish()
-            .map_err(|e| CompileError::sem(format!("assembly failed: {e}")))?)
+            .map_err(|e| CompileError::sem(format!("assembly failed: {e}")))
     }
 
     // ---------------- slot management ----------------
@@ -270,12 +270,7 @@ impl<'a> MethodGen<'a> {
             Operand::Cur(_) | Operand::Next(_) => Ok(v),
             Operand::Const(_) => {
                 let s = self.alloc_scratch()?;
-                self.emit(Instr::three(
-                    Opcode::MOVE,
-                    Operand::Cur(s),
-                    v.op,
-                    v.op,
-                ))?;
+                self.emit(Instr::three(Opcode::MOVE, Operand::Cur(s), v.op, v.op))?;
                 Ok(Val {
                     op: Operand::Cur(s),
                     owned: Some(s),
@@ -550,7 +545,12 @@ impl<'a> MethodGen<'a> {
             self.free(argvals[0]);
             self.free(rv);
             let dest = self.alloc_scratch()?;
-            self.emit(Instr::three(Opcode::MOVE, Operand::Cur(dest), value_op, value_op))?;
+            self.emit(Instr::three(
+                Opcode::MOVE,
+                Operand::Cur(dest),
+                value_op,
+                value_op,
+            ))?;
             return Ok(Val {
                 op: Operand::Cur(dest),
                 owned: Some(dest),
@@ -630,7 +630,10 @@ impl<'a> MethodGen<'a> {
             _ => unreachable!("filtered by caller"),
         };
         if (selector.contains("True") || selector == "and:") && then_arm.is_none()
-            || (selector.contains("False") || selector == "or:") && else_arm.is_none() && selector != "ifTrue:" && selector != "and:"
+            || (selector.contains("False") || selector == "or:")
+                && else_arm.is_none()
+                && selector != "ifTrue:"
+                && selector != "and:"
         {
             return Err(CompileError::sem(format!(
                 "{selector} requires literal block arguments"
@@ -663,8 +666,8 @@ impl<'a> MethodGen<'a> {
         self.asm.bind(end_label);
         // Free in stack order: result was allocated after cond.
         self.scratch_next = result;
-        if cond.owned.is_some() {
-            self.scratch_next = cond.owned.unwrap();
+        if let Some(owned) = cond.owned {
+            self.scratch_next = owned;
         }
         // Re-allocate result at the top of the scratch stack so it is the
         // expression's (owned) value.
@@ -776,7 +779,7 @@ impl<'a> MethodGen<'a> {
                 }
             }
         }
-        Ok(last.unwrap_or_else(|| Val {
+        Ok(last.unwrap_or(Val {
             op: Operand::Cur(1),
             owned: None,
         }))
@@ -817,7 +820,12 @@ impl<'a> MethodGen<'a> {
         let end = self.asm.label();
         self.asm.bind(top);
         let c = self.alloc_scratch()?;
-        self.emit(Instr::three(Opcode::LT, Operand::Cur(c), Operand::Cur(i), n.op))?;
+        self.emit(Instr::three(
+            Opcode::LT,
+            Operand::Cur(c),
+            Operand::Cur(i),
+            n.op,
+        ))?;
         self.asm.jump_if(Operand::Cur(c), body_label);
         self.scratch_next = c;
         self.asm.jump(end);
@@ -839,7 +847,9 @@ impl<'a> MethodGen<'a> {
 
     fn gen_to_do(&mut self, from: &Expr, to: &Expr, body: &Block) -> Result<Val, CompileError> {
         if body.params.len() != 1 {
-            return Err(CompileError::sem("to:do: block takes exactly one parameter"));
+            return Err(CompileError::sem(
+                "to:do: block takes exactly one parameter",
+            ));
         }
         let k1 = self.asm.intern_const(Word::Int(1));
         let fv = self.gen_expr(from)?;
@@ -985,9 +995,7 @@ fn block_has_return(b: &Block) -> bool {
     fn expr_has(e: &Expr) -> bool {
         match e {
             Expr::Assign(_, v) => expr_has(v),
-            Expr::Send { recv, args, .. } => {
-                expr_has(recv) || args.iter().any(expr_has)
-            }
+            Expr::Send { recv, args, .. } => expr_has(recv) || args.iter().any(expr_has),
             Expr::Block(b) => b.body.iter().any(stmt_has),
             _ => false,
         }
@@ -1087,7 +1095,12 @@ mod tests {
         let driver_class = image.classes.by_name("Driver").unwrap();
         let driver = m
             .space_mut()
-            .create(com_mem::TeamId(0), driver_class, 1, com_mem::AllocKind::Object)
+            .create(
+                com_mem::TeamId(0),
+                driver_class,
+                1,
+                com_mem::AllocKind::Object,
+            )
             .unwrap();
         let out = m.send("go", Word::Ptr(driver), &[], 5_000_000).unwrap();
         assert_eq!(out.result, Word::Int(7));
@@ -1104,7 +1117,10 @@ mod tests {
               end
             end
         "#;
-        assert_eq!(run_com(src, "squaresum", Word::Int(10), &[]), Word::Int(385));
+        assert_eq!(
+            run_com(src, "squaresum", Word::Int(10), &[]),
+            Word::Int(385)
+        );
     }
 
     #[test]
@@ -1168,7 +1184,9 @@ mod tests {
         let mut m2 = Machine::new(MachineConfig::default());
         m2.load(&image).unwrap();
         assert_eq!(
-            m2.send("pick", Word::Int(-5), &[], 1_000_000).unwrap().result,
+            m2.send("pick", Word::Int(-5), &[], 1_000_000)
+                .unwrap()
+                .result,
             Word::Int(2)
         );
         // Real blocks were created: home contexts escaped to the GC.

@@ -244,12 +244,7 @@ impl<'a> FithGen<'a> {
         )))
     }
 
-    fn gen_send(
-        &mut self,
-        recv: &Expr,
-        selector: &str,
-        args: &[Expr],
-    ) -> Result<(), CompileError> {
+    fn gen_send(&mut self, recv: &Expr, selector: &str, args: &[Expr]) -> Result<(), CompileError> {
         if let Expr::ClassRef(name) = recv {
             if selector == "new" || selector == "new:" {
                 return self.gen_new(name, args.first());
@@ -422,7 +417,9 @@ impl<'a> FithGen<'a> {
 
     fn gen_to_do(&mut self, from: &Expr, to: &Expr, body: &Block) -> Result<(), CompileError> {
         if body.params.len() != 1 {
-            return Err(CompileError::sem("to:do: block takes exactly one parameter"));
+            return Err(CompileError::sem(
+                "to:do: block takes exactly one parameter",
+            ));
         }
         let i = self.alloc_local();
         let limit = self.alloc_local();
@@ -543,12 +540,7 @@ mod tests {
         let driver = image.classes.by_name("Driver").unwrap();
         let obj = m
             .space_mut()
-            .create(
-                com_mem::TeamId(0),
-                driver,
-                1,
-                com_mem::AllocKind::Object,
-            )
+            .create(com_mem::TeamId(0), driver, 1, com_mem::AllocKind::Object)
             .unwrap();
         let out = m
             .send(&image, "go", Word::Ptr(obj), &[], 10_000_000)
@@ -574,6 +566,9 @@ mod tests {
               end
             end
         "#;
-        assert_eq!(run_fith(src, "squaresum", Word::Int(10), &[]), Word::Int(385));
+        assert_eq!(
+            run_fith(src, "squaresum", Word::Int(10), &[]),
+            Word::Int(385)
+        );
     }
 }

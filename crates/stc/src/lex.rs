@@ -82,34 +82,51 @@ pub fn lex(source: &str) -> Result<Vec<Spanned>, CompileError> {
                 i += 1;
             }
             '(' => {
-                out.push(Spanned { token: Token::LParen, at });
+                out.push(Spanned {
+                    token: Token::LParen,
+                    at,
+                });
                 i += 1;
             }
             ')' => {
-                out.push(Spanned { token: Token::RParen, at });
+                out.push(Spanned {
+                    token: Token::RParen,
+                    at,
+                });
                 i += 1;
             }
             '[' => {
-                out.push(Spanned { token: Token::LBracket, at });
+                out.push(Spanned {
+                    token: Token::LBracket,
+                    at,
+                });
                 i += 1;
             }
             ']' => {
-                out.push(Spanned { token: Token::RBracket, at });
+                out.push(Spanned {
+                    token: Token::RBracket,
+                    at,
+                });
                 i += 1;
             }
             '.' => {
-                out.push(Spanned { token: Token::Period, at });
+                out.push(Spanned {
+                    token: Token::Period,
+                    at,
+                });
                 i += 1;
             }
             '^' => {
-                out.push(Spanned { token: Token::Caret, at });
+                out.push(Spanned {
+                    token: Token::Caret,
+                    at,
+                });
                 i += 1;
             }
             '#' => {
                 i += 1;
                 let start = i;
-                while i < bytes.len()
-                    && ((bytes[i] as char).is_alphanumeric() || bytes[i] == b'_')
+                while i < bytes.len() && ((bytes[i] as char).is_alphanumeric() || bytes[i] == b'_')
                 {
                     i += 1;
                 }
@@ -127,7 +144,10 @@ pub fn lex(source: &str) -> Result<Vec<Spanned>, CompileError> {
             ':' => {
                 // `:=` or a block parameter `:x`
                 if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
-                    out.push(Spanned { token: Token::Assign, at });
+                    out.push(Spanned {
+                        token: Token::Assign,
+                        at,
+                    });
                     i += 2;
                 } else {
                     i += 1;
@@ -150,7 +170,10 @@ pub fn lex(source: &str) -> Result<Vec<Spanned>, CompileError> {
                 }
             }
             '|' => {
-                out.push(Spanned { token: Token::Bar, at });
+                out.push(Spanned {
+                    token: Token::Bar,
+                    at,
+                });
                 i += 1;
             }
             c if c.is_ascii_digit()
@@ -193,13 +216,14 @@ pub fn lex(source: &str) -> Result<Vec<Spanned>, CompileError> {
             }
             c if c.is_alphabetic() || c == '_' => {
                 let start = i;
-                while i < bytes.len()
-                    && ((bytes[i] as char).is_alphanumeric() || bytes[i] == b'_')
+                while i < bytes.len() && ((bytes[i] as char).is_alphanumeric() || bytes[i] == b'_')
                 {
                     i += 1;
                 }
                 // keyword selector part?
-                if i < bytes.len() && bytes[i] == b':' && (i + 1 >= bytes.len() || bytes[i + 1] != b'=')
+                if i < bytes.len()
+                    && bytes[i] == b':'
+                    && (i + 1 >= bytes.len() || bytes[i + 1] != b'=')
                 {
                     i += 1;
                     out.push(Spanned {
@@ -307,7 +331,10 @@ mod tests {
                 Token::Int(1),
             ]
         );
-        assert_eq!(toks("( -1 )"), vec![Token::LParen, Token::Int(-1), Token::RParen]);
+        assert_eq!(
+            toks("( -1 )"),
+            vec![Token::LParen, Token::Int(-1), Token::RParen]
+        );
     }
 
     #[test]

@@ -29,8 +29,8 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
-pub mod ast;
 mod analysis;
+pub mod ast;
 mod codegen_com;
 mod codegen_fith;
 mod error;

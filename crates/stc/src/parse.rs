@@ -247,7 +247,10 @@ impl Parser {
         let mut recv = self.primary()?;
         while let Some(Token::Ident(name)) = self.peek() {
             // Structural keywords never act as unary selectors.
-            if matches!(name.as_str(), "end" | "method" | "class" | "extends" | "vars") {
+            if matches!(
+                name.as_str(),
+                "end" | "method" | "class" | "extends" | "vars"
+            ) {
                 break;
             }
             let name = name.clone();
@@ -296,9 +299,8 @@ impl Parser {
                     match self.bump() {
                         Some(Token::Bar) => {}
                         other => {
-                            return Err(
-                                self.err(format!("expected '|' after block params, found {other:?}"))
-                            )
+                            return Err(self
+                                .err(format!("expected '|' after block params, found {other:?}")))
                         }
                     }
                 }
@@ -348,17 +350,29 @@ mod tests {
             panic!("expected return")
         };
         // (a foo + b bar) at: (c baz)
-        let Expr::Send { selector, recv, args } = e else { panic!() };
+        let Expr::Send {
+            selector,
+            recv,
+            args,
+        } = e
+        else {
+            panic!()
+        };
         assert_eq!(selector, "at:");
-        let Expr::Send { selector: plus, .. } = recv.as_ref() else { panic!() };
+        let Expr::Send { selector: plus, .. } = recv.as_ref() else {
+            panic!()
+        };
         assert_eq!(plus, "+");
-        let Expr::Send { selector: baz, .. } = &args[0] else { panic!() };
+        let Expr::Send { selector: baz, .. } = &args[0] else {
+            panic!()
+        };
         assert_eq!(baz, "baz");
     }
 
     #[test]
     fn parses_blocks_and_temps() {
-        let src = "class T method m | acc | acc := 0. [ :i | acc := acc + i ] value: 3. ^acc end end";
+        let src =
+            "class T method m | acc | acc := 0. [ :i | acc := acc + i ] value: 3. ^acc end end";
         let p = parse(src).unwrap();
         let m = &p.classes[0].methods[0];
         assert_eq!(m.temps, vec!["acc"]);
@@ -387,10 +401,10 @@ mod tests {
 
     #[test]
     fn errors_are_positioned() {
-        assert!(matches!(
-            parse("class"),
-            Err(CompileError::Parse { .. })
-        ));
-        assert!(parse("class T method m ^1 end").is_err(), "missing class end");
+        assert!(matches!(parse("class"), Err(CompileError::Parse { .. })));
+        assert!(
+            parse("class T method m ^1 end").is_err(),
+            "missing class end"
+        );
     }
 }

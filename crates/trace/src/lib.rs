@@ -250,10 +250,7 @@ mod tests {
                 t.record(ev(i as u64 * 7 + rep, i, i % 4));
             }
         }
-        let rows = sweep(&t, &[8, 32, 128], &[1, 2], 0.2, |e| {
-            (e.opcode, e.tos_class)
-        })
-        .unwrap();
+        let rows = sweep(&t, &[8, 32, 128], &[1, 2], 0.2, |e| (e.opcode, e.tos_class)).unwrap();
         assert_eq!(rows.len(), 3);
         let r8 = rows[0].ratios[1].1.unwrap();
         let r128 = rows[2].ratios[1].1.unwrap();

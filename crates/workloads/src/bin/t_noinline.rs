@@ -1,8 +1,11 @@
-use com_stc::{compile_com, CompileOptions};
 use com_core::{Machine, MachineConfig};
 use com_mem::Word;
+use com_stc::{compile_com, CompileOptions};
 fn t(src: &str, sel: &str, n: i64) {
-    let opts = CompileOptions { inline_control_flow: false, with_stdlib: true };
+    let opts = CompileOptions {
+        inline_control_flow: false,
+        with_stdlib: true,
+    };
     let image = compile_com(src, opts).unwrap();
     let mut m = Machine::new(MachineConfig::default());
     m.load(&image).unwrap();
@@ -13,7 +16,11 @@ fn t(src: &str, sel: &str, n: i64) {
 }
 fn main() {
     t("class SmallInteger method m1 | x | x := 0. self > 2 ifTrue: [ x := 10 ] ifFalse: [ x := 20 ]. ^x end end", "m1", 5);
-    t("class SmallInteger method m2 | x | x := 1. self timesRepeat: [ x := x + x ]. ^x end end", "m2", 4);
+    t(
+        "class SmallInteger method m2 | x | x := 1. self timesRepeat: [ x := x + x ]. ^x end end",
+        "m2",
+        4,
+    );
     t("class SmallInteger method m3 | t | t := 0. (self = 1) not ifTrue: [ t := t + 7 ]. ^t end end", "m3", 5);
     // assignment-as-last-expr in arm + discarded conditional value
     t("class P extends Object vars a method set: k a := k. ^self end method geta ^a end end

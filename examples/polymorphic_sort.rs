@@ -59,8 +59,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     for (entry, what) in [
         ("sortInts", "300 integers"),
-        ("sortMixed", "300 mixed ints and floats (mixed-mode < is primitive)"),
-        ("sortMoney", "300 Money objects (user-defined <, late bound)"),
+        (
+            "sortMixed",
+            "300 mixed ints and floats (mixed-mode < is primitive)",
+        ),
+        (
+            "sortMoney",
+            "300 Money objects (user-defined <, late bound)",
+        ),
     ] {
         let mut machine = Machine::new(MachineConfig::default());
         machine.load(&image)?;

@@ -7,13 +7,6 @@ use com_machine::mem::{AllocKind, Word};
 use com_machine::stc::{compile_com, compile_fith, CompileOptions};
 use com_machine::workloads;
 
-fn run(source: &str, entry: &str, n: i64, cfg: MachineConfig) -> Word {
-    let image = compile_com(source, CompileOptions::default()).expect("compiles");
-    let mut m = Machine::new(cfg);
-    m.load(&image).expect("loads");
-    m.send(entry, Word::Int(n), &[], 50_000_000).expect("runs").result
-}
-
 #[test]
 fn ackermann_values() {
     let src = r#"
@@ -28,13 +21,19 @@ fn ackermann_values() {
     let image = compile_com(src, CompileOptions::default()).unwrap();
     let mut m = Machine::new(MachineConfig::default());
     m.load(&image).unwrap();
-    let a22 = m.send("ack:", Word::Int(2), &[Word::Int(2)], 10_000_000).unwrap();
+    let a22 = m
+        .send("ack:", Word::Int(2), &[Word::Int(2)], 10_000_000)
+        .unwrap();
     assert_eq!(a22.result, Word::Int(7));
-    let a23 = m.send("ack:", Word::Int(2), &[Word::Int(3)], 10_000_000).unwrap();
+    let a23 = m
+        .send("ack:", Word::Int(2), &[Word::Int(3)], 10_000_000)
+        .unwrap();
     assert_eq!(a23.result, Word::Int(9));
     // Deep recursion pushed contexts through the 32-block cache: the
     // copyback engine must have engaged without corrupting state.
-    let a31 = m.send("ack:", Word::Int(3), &[Word::Int(3)], 50_000_000).unwrap();
+    let a31 = m
+        .send("ack:", Word::Int(3), &[Word::Int(3)], 50_000_000)
+        .unwrap();
     assert_eq!(a31.result, Word::Int(61));
 }
 
@@ -58,8 +57,14 @@ fn all_ablation_configs_agree_on_every_workload() {
             .result;
         for (label, cfg) in [
             ("no itlb", MachineConfig::default().without_itlb()),
-            ("no ctx cache", MachineConfig::default().without_context_cache()),
-            ("no eager free", MachineConfig::default().without_eager_lifo_free()),
+            (
+                "no ctx cache",
+                MachineConfig::default().without_context_cache(),
+            ),
+            (
+                "no eager free",
+                MachineConfig::default().without_eager_lifo_free(),
+            ),
             ("8 blocks", MachineConfig::default().with_ctx_blocks(8)),
             (
                 "gc every 5k steps",
@@ -98,7 +103,10 @@ fn com_and_fith_agree_on_fresh_programs() {
     for n in [6i64, 27, 97, 871] {
         let mut m = Machine::new(MachineConfig::default());
         m.load(&com_image).unwrap();
-        let com = m.send("collatz", Word::Int(n), &[], 10_000_000).unwrap().result;
+        let com = m
+            .send("collatz", Word::Int(n), &[], 10_000_000)
+            .unwrap()
+            .result;
         let mut f = FithMachine::new(&fith_image);
         let fith = f
             .send(&fith_image, "collatz", Word::Int(n), &[], 10_000_000)
@@ -188,6 +196,9 @@ fn object_allocation_stats_feed_t5() {
     )
     .unwrap();
     let st = m.space().stats();
-    assert!(st.allocs_of(AllocKind::Object) >= 230, "trees allocates nodes");
+    assert!(
+        st.allocs_of(AllocKind::Object) >= 230,
+        "trees allocates nodes"
+    );
     assert!(st.allocs_of(AllocKind::Context) > 0);
 }
