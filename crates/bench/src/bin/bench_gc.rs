@@ -1,0 +1,100 @@
+//! Garbage-collection bench: emits `BENCH_gc.json`.
+//!
+//! ```sh
+//! cargo run --release --bin bench_gc                     # writes BENCH_gc.json
+//! cargo run --release --bin bench_gc -- out.json
+//! cargo run --release --bin bench_gc -- out.json --sizes 60,120 --repeats 1
+//! ```
+//!
+//! Compares a full-mark-sweep-only collection cadence against the
+//! generational (minor + occasional full) cadence on the `churn`
+//! workload, at several live-heap sizes. The headline metric is words
+//! scanned per word reclaimed; the acceptance bar is ≥2× in the
+//! generational configuration's favour with `run`/`run_stepwise`
+//! `CycleStats` bit-identical (asserted per size).
+
+use com_bench::gc::{gc_rows, rows_to_json, GcRow};
+use com_bench::print_table;
+
+fn parse_args() -> (String, Vec<i64>, u32) {
+    let mut out = "BENCH_gc.json".to_string();
+    let mut sizes = vec![120, 240, 480];
+    let mut repeats = 3;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--sizes" => {
+                let v = args.next().expect("--sizes needs a comma-separated list");
+                sizes = v
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("size must be an integer"))
+                    .collect();
+            }
+            "--repeats" => {
+                repeats = args
+                    .next()
+                    .expect("--repeats needs a count")
+                    .parse()
+                    .expect("repeats must be an integer");
+            }
+            other if other.starts_with("--") => {
+                panic!("unknown flag {other}; supported: --sizes a,b,c --repeats n")
+            }
+            other => out = other.to_string(),
+        }
+    }
+    (out, sizes, repeats)
+}
+
+fn main() {
+    let (out_path, sizes, repeats) = parse_args();
+    println!("gc bench — sizes {sizes:?}, {repeats} paired rounds, median kept");
+
+    let rows: Vec<GcRow> =
+        gc_rows(&sizes, repeats).unwrap_or_else(|e| panic!("gc bench failed: {e}"));
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{}", r.size),
+                format!("{}", r.live_words),
+                format!("{:.1}", r.full.scanned_per_freed()),
+                format!("{:.1}", r.generational.scanned_per_freed()),
+                format!("{:.0}", r.full.scanned_per_collection()),
+                format!("{:.0}", r.generational.scanned_per_collection()),
+                format!("{:.2}x", r.scan_efficiency()),
+            ]
+        })
+        .collect();
+    print_table(
+        "GC scanning cost (full mark-sweep vs generational)",
+        &[
+            "size",
+            "live words",
+            "full scan/freed",
+            "gen scan/freed",
+            "full scan/gc",
+            "gen scan/gc",
+            "efficiency",
+        ],
+        &table,
+    );
+
+    let json = rows_to_json(&rows);
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
+    println!("\nwrote {out_path}");
+
+    for r in &rows {
+        let e = r.scan_efficiency();
+        println!(
+            "size {}: {e:.2}x {}",
+            r.size,
+            if e >= 2.0 {
+                "(target ≥2x: MET)"
+            } else {
+                "(target ≥2x: MISSED)"
+            }
+        );
+    }
+}

@@ -4,6 +4,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod gc;
 pub mod interp;
 
 use com_trace::Trace;

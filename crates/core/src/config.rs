@@ -52,9 +52,19 @@ pub struct MachineConfig {
     pub memory_penalty: u64,
     /// Cycles to fault a context block in from memory (block fill).
     pub ctx_fault_penalty: u64,
-    /// Steps between automatic garbage collections; `None` collects only
-    /// when the free list and allocator are exhausted.
+    /// Steps between automatic **full** garbage collections; `None`
+    /// collects only when the free list and allocator are exhausted.
+    /// (The legacy knob; [`gc_full_interval`](Self::gc_full_interval) is
+    /// its generational twin — either triggers a full collection.)
     pub gc_interval: Option<u64>,
+    /// Steps between **minor** (nursery-only) collections; `None` disables
+    /// periodic minor collection. When a step is a multiple of both the
+    /// minor and a full interval, the full collection wins.
+    pub gc_minor_interval: Option<u64>,
+    /// Steps between **full** collections when running generationally
+    /// (typically a large multiple of
+    /// [`gc_minor_interval`](Self::gc_minor_interval)).
+    pub gc_full_interval: Option<u64>,
     /// Eagerly free LIFO contexts at return (§2.3). Disabling leaves every
     /// context to the garbage collector (half of experiment T5).
     pub eager_lifo_free: bool,
@@ -78,6 +88,8 @@ impl Default for MachineConfig {
             memory_penalty: 4,
             ctx_fault_penalty: 32,
             gc_interval: None,
+            gc_minor_interval: None,
+            gc_full_interval: None,
             eager_lifo_free: true,
         }
     }
@@ -111,6 +123,22 @@ impl MachineConfig {
     /// Disables eager LIFO context freeing (T5's GC-burden comparison).
     pub fn without_eager_lifo_free(mut self) -> Self {
         self.eager_lifo_free = false;
+        self
+    }
+
+    /// Runs the garbage collector generationally: a minor (nursery-only)
+    /// collection every `minor` steps and a full collection every `full`
+    /// steps. Coincident steps run the full collection.
+    pub fn with_generational_gc(mut self, minor: u64, full: u64) -> Self {
+        self.gc_minor_interval = Some(minor);
+        self.gc_full_interval = Some(full);
+        self
+    }
+
+    /// Periodic minor collections only (full collections still run on
+    /// allocator exhaustion).
+    pub fn with_minor_gc_interval(mut self, minor: u64) -> Self {
+        self.gc_minor_interval = Some(minor);
         self
     }
 
@@ -148,6 +176,16 @@ mod tests {
         assert_eq!(c.ctx_blocks, Some(32));
         assert!(c.copyback);
         assert!(c.eager_lifo_free);
+    }
+
+    #[test]
+    fn generational_gc_builders() {
+        let c = MachineConfig::paper().with_generational_gc(101, 809);
+        assert_eq!(c.gc_minor_interval, Some(101));
+        assert_eq!(c.gc_full_interval, Some(809));
+        let c = MachineConfig::paper().with_minor_gc_interval(53);
+        assert_eq!(c.gc_minor_interval, Some(53));
+        assert_eq!(c.gc_full_interval, None);
     }
 
     #[test]

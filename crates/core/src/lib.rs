@@ -38,7 +38,11 @@ pub use config::MachineConfig;
 pub use ctxcache::{ContextCache, CtxCacheStats};
 pub use exec::data_op;
 pub use image::{MethodSource, ProgramImage};
-pub use machine::{Machine, RunResult};
+pub use machine::{GcTotals, Machine, RunResult};
+
+// Re-exported so machine drivers can pick a collection scope without
+// depending on `com-mem` directly.
+pub use com_mem::gc::GcKind;
 pub use pipeline::CycleStats;
 pub use trap::MachineError;
 

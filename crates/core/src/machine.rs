@@ -39,7 +39,11 @@ use std::rc::Rc;
 use com_cache::{AddrSet, CacheStats, FxBuildHasher, SetAssocCache};
 use com_fpa::{Fpa, SegmentName};
 use com_isa::{CodeObject, Instr, Opcode, OpcodeTable, Operand, PrimOp};
-use com_mem::{gc, AbsAddr, AllocKind, ClassId, MemError, ObjectSpace, TeamId, Word};
+use com_mem::{
+    gc,
+    gc::{GcKind, GcStats},
+    AbsAddr, AllocKind, ClassId, MemError, ObjectSpace, TeamId, Word,
+};
 use com_obj::{lookup_method, AtomTable, ClassTable, DefinedMethod, Itlb, ItlbKey, MethodRef};
 
 use crate::{
@@ -241,6 +245,58 @@ struct ShadowFrame {
     slab: u32,
 }
 
+/// Aggregate garbage-collection work across a machine's lifetime, split by
+/// generation. Simulator-side observability (bench pipeline, reports) —
+/// the *architectural* cost lives in [`CycleStats::gc_cycles`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GcTotals {
+    /// Minor (nursery-only) collections run.
+    pub minor_collections: u64,
+    /// Full collections run.
+    pub full_collections: u64,
+    /// Words scanned by minor collections.
+    pub minor_words_scanned: u64,
+    /// Words scanned by full collections.
+    pub full_words_scanned: u64,
+    /// Words freed by minor collections.
+    pub minor_words_freed: u64,
+    /// Words freed by full collections.
+    pub full_words_freed: u64,
+    /// Segments swept by minor collections.
+    pub minor_segments_swept: u64,
+    /// Segments swept by full collections.
+    pub full_segments_swept: u64,
+    /// Nursery survivors promoted to the tenured generation.
+    pub promoted_segments: u64,
+}
+
+impl GcTotals {
+    fn absorb(&mut self, st: &GcStats) {
+        if st.minor {
+            self.minor_collections += 1;
+            self.minor_words_scanned += st.words_scanned;
+            self.minor_words_freed += st.words_freed;
+            self.minor_segments_swept += st.swept_segments;
+        } else {
+            self.full_collections += 1;
+            self.full_words_scanned += st.words_scanned;
+            self.full_words_freed += st.words_freed;
+            self.full_segments_swept += st.swept_segments;
+        }
+        self.promoted_segments += st.promoted_segments;
+    }
+
+    /// Total words scanned across both generations.
+    pub fn words_scanned(&self) -> u64 {
+        self.minor_words_scanned + self.full_words_scanned
+    }
+
+    /// Total words freed across both generations.
+    pub fn words_freed(&self) -> u64 {
+        self.minor_words_freed + self.full_words_freed
+    }
+}
+
 /// The outcome of a completed run.
 #[derive(Debug, Clone)]
 pub struct RunResult {
@@ -333,6 +389,7 @@ pub struct Machine {
     result_cell: Option<Fpa>,
     last_dest: Option<(AbsAddr, u64)>,
     stats: CycleStats,
+    gc_totals: GcTotals,
     steps: u64,
     halted: Option<Word>,
 }
@@ -388,6 +445,7 @@ impl Machine {
             result_cell: None,
             last_dest: None,
             stats: CycleStats::default(),
+            gc_totals: GcTotals::default(),
             steps: 0,
             halted: None,
         }
@@ -473,6 +531,11 @@ impl Machine {
         self.stats
     }
 
+    /// Aggregate garbage-collection work so far, split by generation.
+    pub fn gc_totals(&self) -> GcTotals {
+        self.gc_totals
+    }
+
     /// ITLB first-level statistics, if an ITLB is configured.
     pub fn itlb_stats(&self) -> Option<CacheStats> {
         self.itlb.as_ref().map(|t| t.l1_stats())
@@ -491,6 +554,7 @@ impl Machine {
     /// Resets all statistics (warmup boundary); contents stay resident.
     pub fn reset_stats(&mut self) {
         self.stats = CycleStats::default();
+        self.gc_totals = GcTotals::default();
         if let Some(t) = &mut self.itlb {
             t.reset_stats();
         }
@@ -1106,10 +1170,8 @@ impl Machine {
             MethodRef::Defined(d) => self.do_call(instr, d, b, c)?,
         }
 
-        if let Some(interval) = self.config.gc_interval {
-            if self.steps.is_multiple_of(interval) {
-                self.collect_garbage()?;
-            }
+        if let Some(kind) = self.gc_due(self.steps) {
+            self.collect_garbage_kind(kind)?;
         }
         self.maybe_copyback()?;
         if let Some(w) = self.halted {
@@ -1653,14 +1715,34 @@ impl Machine {
     // Garbage collection
     // ------------------------------------------------------------------
 
-    /// Runs a stop-the-world collection: flush the context cache, mark from
-    /// the machine roots, sweep, then drop stale cache and bookkeeping
-    /// entries.
+    /// Runs a stop-the-world **full** collection (see
+    /// [`collect_garbage_kind`](Self::collect_garbage_kind)).
     ///
     /// # Errors
     ///
     /// Propagates memory errors (a failing GC is a machine-fatal event).
     pub fn collect_garbage(&mut self) -> Result<(), MachineError> {
+        self.collect_garbage_kind(GcKind::Full)
+    }
+
+    /// Runs a stop-the-world collection of the given generation scope:
+    /// flush the context cache's dirty blocks (a bounded cost — at most
+    /// the cache's block count), mark from the machine roots with every
+    /// cache-resident context **pinned**, sweep, then drop stale
+    /// bookkeeping.
+    ///
+    /// Residents are pinned — passed to [`gc::collect`]/
+    /// [`gc::collect_minor`] as segments that are marked *and scanned* —
+    /// because the context cache is machine state: its blocks may hold the
+    /// only pointer to a captured context, stored through the cache's
+    /// directory-bypassing write path where no write barrier runs. Without
+    /// the pin, a minor collection would never scan a tenured resident
+    /// context and would sweep the captured callee it alone references.
+    ///
+    /// # Errors
+    ///
+    /// Propagates memory errors (a failing GC is a machine-fatal event).
+    pub fn collect_garbage_kind(&mut self, kind: GcKind) -> Result<(), MachineError> {
         // Memory must be coherent before the collector scans contexts.
         if let Some(cc) = &mut self.cc {
             for ev in cc.dirty_blocks() {
@@ -1682,20 +1764,28 @@ impl Machine {
         if let Some(cell) = self.result_cell {
             roots.push(cell);
         }
-        // Swept segment names can be recycled: a stale shadow entry could
-        // otherwise validate against a recycled name.
-        self.shadow.clear();
-        let st = gc::collect_simple(&mut self.space, self.team, &roots)?;
-        self.stats.gc_runs += 1;
-        self.stats.gc_cycles += st.cost_cycles();
-        // Drop context-cache blocks whose contexts were swept.
-        if let Some(cc) = &mut self.cc {
+        // Pin every cache-resident context.
+        let mut pinned: Vec<SegmentName> = Vec::new();
+        if let Some(cc) = &self.cc {
             for abs in cc.resident() {
-                if self.space.memory().block_words(abs).is_none() {
-                    cc.release(abs);
+                if let Some(seg) = self.space.segment_at_base(abs) {
+                    pinned.push(seg);
                 }
             }
         }
+        // Swept segment names can be recycled: a stale shadow entry could
+        // otherwise validate against a recycled name.
+        self.shadow.clear();
+        let st = match kind {
+            GcKind::Full => gc::collect(&mut self.space, self.team, &roots, &pinned)?,
+            GcKind::Minor => gc::collect_minor(&mut self.space, self.team, &roots, &pinned)?,
+        };
+        self.stats.gc_runs += 1;
+        if st.minor {
+            self.stats.gc_minor_runs += 1;
+        }
+        self.stats.gc_cycles += st.cost_cycles();
+        self.gc_totals.absorb(&st);
         // Swept names may be recycled; stale escape marks must not leak
         // onto fresh contexts.
         let team = self.team;
@@ -1710,6 +1800,27 @@ impl Machine {
         self.escaped.retain(|seg| table_has(space_ref, seg));
         // Decoded-method cache: code objects are roots, so still live.
         Ok(())
+    }
+
+    /// Which periodic collection is due once `step` instructions have
+    /// completed, if any. Shared by [`step`](Self::step) and the threaded
+    /// [`run`](Self::run) loop so the two charge GC cycles at identical
+    /// boundaries; a step on both cadences runs the full collection.
+    fn gc_due(&self, step: u64) -> Option<GcKind> {
+        for interval in [self.config.gc_interval, self.config.gc_full_interval]
+            .into_iter()
+            .flatten()
+        {
+            if step.is_multiple_of(interval) {
+                return Some(GcKind::Full);
+            }
+        }
+        if let Some(interval) = self.config.gc_minor_interval {
+            if step.is_multiple_of(interval) {
+                return Some(GcKind::Minor);
+            }
+        }
+        None
     }
 
     // ------------------------------------------------------------------
@@ -1853,7 +1964,9 @@ impl Machine {
                 None => return Err(MachineError::NoContext),
             };
             let gen = self.ip_gen;
-            let gc_interval = self.config.gc_interval;
+            let gc_on = self.config.gc_interval.is_some()
+                || self.config.gc_minor_interval.is_some()
+                || self.config.gc_full_interval.is_some();
             let steps_base = self.steps;
             // Instructions completed against `dec`, not yet in the stats.
             let mut done: u64 = 0;
@@ -1877,10 +1990,8 @@ impl Machine {
                 if let Err(e) = self.exec_low(low) {
                     break SegEnd::Trap(e);
                 }
-                if let Some(interval) = gc_interval {
-                    if (steps_base + done).is_multiple_of(interval) {
-                        break SegEnd::GcDue;
-                    }
+                if gc_on && self.gc_due(steps_base + done).is_some() {
+                    break SegEnd::GcDue;
                 }
                 if self.ip_gen != gen || self.halted.is_some() {
                     // The reference loop runs the copyback check after
@@ -1920,7 +2031,8 @@ impl Machine {
                     // Mirrors the reference interpreter's post-instruction
                     // sequence: collect, then copyback, then re-dispatch
                     // (the outer loop re-checks halt).
-                    self.collect_garbage()?;
+                    let kind = self.gc_due(self.steps).expect("a collection was due");
+                    self.collect_garbage_kind(kind)?;
                     self.maybe_copyback()?;
                 }
                 SegEnd::BadPc => return Err(MachineError::BadMethod(method_fpa)),
@@ -2275,6 +2387,86 @@ mod tests {
         assert_eq!(s.calls, 1);
         assert_eq!(s.call_linkage_cycles, 2);
         assert_eq!(s.operand_copy_cycles, 0);
+    }
+
+    #[test]
+    fn captured_context_in_resident_slot_survives_minor_gc() {
+        // The pinning-hole regression: a captured (nursery) context whose
+        // only reference lives in a *cache-resident, dirty* slot of a
+        // tenured context. The store went through the context cache's
+        // directory-bypassing path, so no write barrier ran and the holder
+        // is not in the remembered set; only pinning (and scanning) the
+        // residents keeps the captured context alive through a minor
+        // collection.
+        let (img, _) = image_with(ClassId::SMALL_INT, "nop:", |asm| {
+            asm.emit_three_ret(
+                Opcode::MOVE,
+                Operand::Cur(0),
+                Operand::Cur(1),
+                Operand::Cur(1),
+            )
+            .unwrap();
+        });
+        let mut m = Machine::new(MachineConfig::default());
+        m.load(&img).unwrap();
+        let sel = m.opcodes().get("nop:").unwrap();
+        m.start_send(sel, Word::Int(1), &[Word::Int(2)]).unwrap();
+        // A full collection promotes the bootstrap contexts to tenured.
+        m.collect_garbage().unwrap();
+        // A fresh captured context: nursery, reachable from nothing yet.
+        let captured = m
+            .space
+            .create(m.team, m.context_class, CONTEXT_WORDS, AllocKind::Context)
+            .unwrap();
+        // Store its pointer into a slot of the (resident, tenured) current
+        // context — the cache write path, no barrier.
+        let ctx_class = m.context_class;
+        m.ctx_write_raw(false, CTX_ARG1 + 4, Word::Ptr(captured), ctx_class)
+            .unwrap();
+        assert_eq!(
+            m.space.barrier_stats().remembered_segments,
+            0,
+            "the resident-slot store must not have gone through the barrier"
+        );
+        m.collect_garbage_kind(GcKind::Minor).unwrap();
+        assert!(
+            m.space.read(m.team, captured).is_ok(),
+            "captured context reachable only through a cache-resident slot was swept"
+        );
+        assert_eq!(m.gc_totals().minor_collections, 1);
+    }
+
+    #[test]
+    fn full_gc_pins_resident_contexts_instead_of_releasing_them() {
+        // Every cache-resident context must keep its backing segment and
+        // storage across a full collection — residents are part of the
+        // machine state, not sweep-then-release fodder.
+        let (img, _) = image_with(ClassId::SMALL_INT, "nop:", |asm| {
+            asm.emit_three_ret(
+                Opcode::MOVE,
+                Operand::Cur(0),
+                Operand::Cur(1),
+                Operand::Cur(1),
+            )
+            .unwrap();
+        });
+        let mut m = Machine::new(MachineConfig::default());
+        m.load(&img).unwrap();
+        let sel = m.opcodes().get("nop:").unwrap();
+        m.start_send(sel, Word::Int(1), &[Word::Int(2)]).unwrap();
+        m.collect_garbage().unwrap();
+        let residents = m.cc.as_ref().expect("cc on").resident();
+        assert!(!residents.is_empty());
+        for abs in residents {
+            assert!(
+                m.space.memory().block_words(abs).is_some(),
+                "resident context at {abs} lost its storage across a full GC"
+            );
+            assert!(
+                m.space.segment_at_base(abs).is_some(),
+                "resident context at {abs} lost its segment across a full GC"
+            );
+        }
     }
 
     #[test]

@@ -51,8 +51,10 @@ pub struct CycleStats {
     pub contexts_freed_lifo: u64,
     /// Contexts left to the garbage collector (escaped / non-LIFO).
     pub contexts_left_to_gc: u64,
-    /// Garbage collections run.
+    /// Garbage collections run (minor and full).
     pub gc_runs: u64,
+    /// Minor (nursery-only) collections among [`gc_runs`](Self::gc_runs).
+    pub gc_minor_runs: u64,
 }
 
 impl CycleStats {
@@ -101,6 +103,7 @@ impl CycleStats {
             contexts_freed_lifo: self.contexts_freed_lifo - s.contexts_freed_lifo,
             contexts_left_to_gc: self.contexts_left_to_gc - s.contexts_left_to_gc,
             gc_runs: self.gc_runs - s.gc_runs,
+            gc_minor_runs: self.gc_minor_runs - s.gc_minor_runs,
         }
     }
 

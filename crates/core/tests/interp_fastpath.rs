@@ -195,6 +195,95 @@ fn loops_agree_with_periodic_gc() {
 }
 
 #[test]
+fn loops_agree_with_generational_gc() {
+    // The write barrier and the minor/full cadence must not perturb the
+    // architectural contract: CycleStats (including `gc_cycles` from
+    // `GcStats::cost_cycles`) bit-identical between the threaded loop and
+    // the stepwise reference loop. Prime intervals land collections in the
+    // middle of call bursts rather than on convenient boundaries.
+    let (img, sel) = sumto_image();
+    let configs = [
+        // Minor-only cadence.
+        MachineConfig {
+            gc_minor_interval: Some(101),
+            ..MachineConfig::default()
+        },
+        // Generational cadence: minor every 101 steps, full every 809.
+        MachineConfig {
+            gc_minor_interval: Some(101),
+            gc_full_interval: Some(809),
+            ..MachineConfig::default()
+        },
+        // Legacy full knob and the minor knob together.
+        MachineConfig {
+            gc_interval: Some(613),
+            gc_minor_interval: Some(97),
+            ..MachineConfig::default()
+        },
+        // Contexts left to the collector: the generational sweep carries
+        // the whole reclamation load.
+        MachineConfig {
+            gc_minor_interval: Some(89),
+            gc_full_interval: Some(89 * 7),
+            ..MachineConfig::default().without_eager_lifo_free()
+        },
+        // No context cache: every context store takes the barrier path.
+        MachineConfig {
+            gc_minor_interval: Some(103),
+            gc_full_interval: Some(103 * 5),
+            ..MachineConfig::default().without_context_cache()
+        },
+    ];
+    for cfg in configs {
+        let a = observe(&img, sel, Word::Int(400), cfg, 1_000_000, false);
+        let b = observe(&img, sel, Word::Int(400), cfg, 1_000_000, true);
+        assert_eq!(a.result, b.result, "results diverged under {cfg:?}");
+        assert_eq!(a.stats, b.stats, "CycleStats diverged under {cfg:?}");
+        assert_eq!(a.itlb, b.itlb, "ITLB stats diverged");
+        assert_eq!(a.icache, b.icache, "icache stats diverged");
+        assert_eq!(a.cc, b.cc, "context cache stats diverged");
+        assert!(
+            a.stats.gc_minor_runs > 0,
+            "minor collections must actually run"
+        );
+        assert!(a.stats.gc_cycles > 0, "GC cost must be charged");
+        if cfg.gc_full_interval.is_some() || cfg.gc_interval.is_some() {
+            assert!(
+                a.stats.gc_runs > a.stats.gc_minor_runs,
+                "full collections must actually run"
+            );
+        }
+    }
+}
+
+#[test]
+fn reference_interpreter_agrees_under_generational_gc() {
+    // The pre-overhaul data paths see the same collections at the same
+    // boundaries (the bench baseline must stay comparable).
+    let (img, sel) = sumto_image();
+    let cfg = MachineConfig {
+        gc_minor_interval: Some(101),
+        gc_full_interval: Some(809),
+        ..MachineConfig::default()
+    };
+    let fast = observe(&img, sel, Word::Int(120), cfg, 1_000_000, false);
+    let reference = observe(
+        &img,
+        sel,
+        Word::Int(120),
+        MachineConfig {
+            gc_minor_interval: Some(101),
+            gc_full_interval: Some(809),
+            ..MachineConfig::default().reference_interpreter()
+        },
+        1_000_000,
+        true,
+    );
+    assert_eq!(fast.result, reference.result);
+    assert_eq!(fast.stats, reference.stats);
+}
+
+#[test]
 fn reference_interpreter_is_architecturally_identical() {
     // The bench baseline (pre-overhaul data paths) models the same
     // machine: same answers, same cycle accounting on a fixed workload.

@@ -256,6 +256,23 @@ impl AbsoluteMemory {
         }
     }
 
+    /// The base of the live block containing `addr`, if any. Shares the
+    /// bounds-check memo with [`read`](Self::read)/[`write`](Self::write),
+    /// so the write barrier's block lookup is O(1) on the hot path.
+    pub fn containing_base(&self, addr: AbsAddr) -> Option<AbsAddr> {
+        let (base, words) = self.last_block.get();
+        if !self.reference && addr.0.wrapping_sub(base) < words {
+            return Some(AbsAddr(base));
+        }
+        match self.blocks.range(..=addr.0).next_back() {
+            Some((&base, &words)) if addr.0 < base + words => {
+                self.last_block.set((base, words));
+                Some(AbsAddr(base))
+            }
+            _ => None,
+        }
+    }
+
     /// Reads the word at `addr`.
     ///
     /// # Errors
@@ -404,6 +421,20 @@ mod tests {
         assert!(m.write(AbsAddr(999), Word::Int(1)).is_err());
         m.free_block(base).unwrap();
         assert!(m.read(base).is_err(), "freed blocks are unmapped");
+    }
+
+    #[test]
+    fn containing_base_finds_the_block() {
+        let mut m = AbsoluteMemory::new(10);
+        let a = m.alloc_block(8).unwrap();
+        let b = m.alloc_block(8).unwrap();
+        assert_eq!(m.containing_base(a.offset(7)), Some(a));
+        assert_eq!(m.containing_base(b), Some(b));
+        // Repeated queries hit the memo; a different block still resolves.
+        assert_eq!(m.containing_base(a.offset(1)), Some(a));
+        m.free_block(a).unwrap();
+        assert_eq!(m.containing_base(a), None);
+        assert_eq!(m.containing_base(AbsAddr(1 << 20)), None);
     }
 
     #[test]

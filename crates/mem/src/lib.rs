@@ -23,9 +23,11 @@
 //! * [`ObjectSpace`] — the allocation API (create / grow / free / read /
 //!   write) used by the machine, with [`AllocKind`]-keyed statistics that
 //!   feed experiment T5.
-//! * [`gc`] — stop-the-world mark-sweep over absolute space ("All object
+//! * [`gc`] — generational collection over absolute space ("All object
 //!   management, for example garbage collection, is performed in absolute
-//!   space").
+//!   space"): a nursery reclaimed by cheap minor collections guided by a
+//!   write-barrier-maintained remembered set, and a tenured space swept
+//!   only by full collections.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -41,6 +43,6 @@ mod word;
 pub use absolute::{AbsAddr, AbsoluteMemory, BuddyAllocator};
 pub use error::MemError;
 pub use mmu::{Mmu, Translation};
-pub use objspace::{AllocKind, AllocStats, ObjectSpace};
+pub use objspace::{AllocKind, AllocStats, BarrierStats, ObjectSpace};
 pub use segment::{SegmentDescriptor, SegmentTable, TeamId, TeamSpace};
 pub use word::{AtomId, ClassId, Tag, Word};

@@ -1,8 +1,13 @@
 //! The object allocation and access API used by the machines.
 
-use com_fpa::Fpa;
+use std::collections::{HashMap, HashSet};
 
-use crate::{AbsoluteMemory, ClassId, MemError, Mmu, SegmentDescriptor, TeamId, Translation, Word};
+use com_cache::FxBuildHasher;
+use com_fpa::{Fpa, SegmentName};
+
+use crate::{
+    AbsAddr, AbsoluteMemory, ClassId, MemError, Mmu, SegmentDescriptor, TeamId, Translation, Word,
+};
 
 /// What an allocation is for — drives the T5 statistics ("85% of all object
 /// allocations and deallocations involve contexts", §2.3).
@@ -89,6 +94,86 @@ impl AllocStats {
     }
 }
 
+/// Generational bookkeeping shared between [`ObjectSpace`] and the
+/// collector in [`crate::gc`].
+///
+/// The heap is split in two generations. Everything allocated since the
+/// last collection's *promotion* step is the **nursery**; everything that
+/// survived a collection is **tenured**. A minor collection traverses only
+/// nursery segments (plus roots, pinned segments, and the remembered set)
+/// and sweeps only nursery segments, so its cost is proportional to young
+/// data, not to the whole heap. The soundness invariant: *every tenured
+/// segment that may hold a pointer into the nursery is in the remembered
+/// set* — maintained by the write barrier in [`ObjectSpace::write_abs`] /
+/// [`ObjectSpace::write_kind`] (context-cache-resident contexts bypass the
+/// barrier and are instead pinned by the machine at collection time).
+///
+/// The book is space-global while collections are per-team, so the
+/// generational split currently assumes a **single collected team** (the
+/// machine's arrangement): one team's promotion clears the other's
+/// nursery/remembered state. Multi-team generational collection would need
+/// the book keyed by team — see the doc note on [`crate::gc::collect`].
+#[derive(Debug, Default)]
+pub(crate) struct GcBook {
+    /// Segment names allocated since the last promotion — the minor-sweep
+    /// candidates.
+    pub(crate) nursery_segs: HashSet<SegmentName, FxBuildHasher>,
+    /// Absolute block bases allocated since the last promotion. A segment
+    /// based in one of these blocks is traversed fully during a minor
+    /// mark (this includes grow-aliases re-pointed at a fresh block).
+    pub(crate) nursery_bases: HashSet<u64, FxBuildHasher>,
+    /// The remembered set: tenured segments possibly holding pointers
+    /// into the nursery, dirtied by the write barrier since the last
+    /// collection.
+    pub(crate) remembered: HashSet<SegmentName, FxBuildHasher>,
+    /// Block base → every live segment name sharing that block, canonical
+    /// (widest, newest) name first. Lets an absolute-addressed store find
+    /// the segment to remember, and lets the sweep free a block exactly
+    /// when its last name dies.
+    pub(crate) base_names: HashMap<u64, Vec<SegmentName>, FxBuildHasher>,
+    /// Pointer stores that consulted the barrier.
+    pub(crate) barrier_stores: u64,
+    /// Barrier consultations that newly remembered a tenured segment.
+    pub(crate) barrier_remembers: u64,
+}
+
+impl GcBook {
+    /// A fresh segment in a fresh block just entered the heap.
+    pub(crate) fn on_create(&mut self, seg: SegmentName, base: AbsAddr) {
+        self.nursery_segs.insert(seg);
+        self.nursery_bases.insert(base.0);
+        self.base_names.insert(base.0, vec![seg]);
+    }
+
+    /// A descriptor was removed (explicit free or sweep).
+    pub(crate) fn on_drop_name(&mut self, seg: SegmentName, base: AbsAddr) {
+        self.nursery_segs.remove(&seg);
+        self.remembered.remove(&seg);
+        if let Some(names) = self.base_names.get_mut(&base.0) {
+            names.retain(|n| *n != seg);
+        }
+    }
+
+    /// A block's storage was returned to the allocator.
+    pub(crate) fn on_block_freed(&mut self, base: AbsAddr) {
+        self.base_names.remove(&base.0);
+        self.nursery_bases.remove(&base.0);
+    }
+}
+
+/// Read-only snapshot of the generational bookkeeping (reports, benches).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BarrierStats {
+    /// Live nursery segments.
+    pub nursery_segments: usize,
+    /// Tenured segments currently in the remembered set.
+    pub remembered_segments: usize,
+    /// Pointer stores that consulted the write barrier.
+    pub pointer_stores: u64,
+    /// Stores that newly remembered a tenured segment.
+    pub remembers: u64,
+}
+
 /// The storage system the machines allocate from: absolute memory + MMU,
 /// with per-kind accounting and automatic growth forwarding.
 ///
@@ -112,6 +197,8 @@ pub struct ObjectSpace {
     stats: AllocStats,
     /// Pointers repaired by following growth forwards during read/write.
     repairs: u64,
+    /// Generational GC bookkeeping (nursery, remembered set, base index).
+    book: GcBook,
 }
 
 impl ObjectSpace {
@@ -125,6 +212,60 @@ impl ObjectSpace {
             mmu,
             stats: AllocStats::default(),
             repairs: 0,
+            book: GcBook::default(),
+        }
+    }
+
+    /// The generational bookkeeping (collector-internal).
+    pub(crate) fn book(&self) -> &GcBook {
+        &self.book
+    }
+
+    /// Mutable generational bookkeeping (collector-internal).
+    pub(crate) fn book_mut(&mut self) -> &mut GcBook {
+        &mut self.book
+    }
+
+    /// Write-barrier and generation counters.
+    pub fn barrier_stats(&self) -> BarrierStats {
+        BarrierStats {
+            nursery_segments: self.book.nursery_segs.len(),
+            remembered_segments: self.book.remembered.len(),
+            pointer_stores: self.book.barrier_stores,
+            remembers: self.book.barrier_remembers,
+        }
+    }
+
+    /// The canonical (widest, newest) live segment based at absolute block
+    /// `base` — how the machine maps a context-cache-resident block back to
+    /// the segment it pins at collection time.
+    pub fn segment_at_base(&self, base: AbsAddr) -> Option<SegmentName> {
+        self.book
+            .base_names
+            .get(&base.0)
+            .and_then(|names| names.first())
+            .copied()
+    }
+
+    /// The write barrier: a pointer word was stored at absolute address
+    /// `abs`. Stores into nursery blocks need no record (the nursery is
+    /// traversed in full by every collection); stores into tenured blocks
+    /// add the block's canonical segment to the remembered set so a minor
+    /// collection scans it.
+    #[inline]
+    fn note_pointer_store(&mut self, abs: AbsAddr) {
+        self.book.barrier_stores += 1;
+        let Some(base) = self.mem.containing_base(abs) else {
+            return;
+        };
+        if self.book.nursery_bases.contains(&base.0) {
+            return;
+        }
+        let Some(canon) = self.segment_at_base(base) else {
+            return;
+        };
+        if self.book.remembered.insert(canon) {
+            self.book.barrier_remembers += 1;
         }
     }
 
@@ -194,6 +335,7 @@ impl ObjectSpace {
             addr.segment(),
             SegmentDescriptor::new(base_abs, words.max(1), class),
         );
+        self.book.on_create(addr.segment(), base_abs);
         let i = AllocStats::idx(kind);
         self.stats.allocs[i] += 1;
         self.stats.words[i] += words.max(1);
@@ -215,11 +357,13 @@ impl ObjectSpace {
             .ok_or(MemError::UnknownSegment { team, segment })?;
         ts.names.free(segment);
         self.mmu.invalidate(team, segment);
+        self.book.on_drop_name(segment, desc.base);
         // Aliased (forwarded-from) names may still reference this block; the
         // storage is freed only if this descriptor still owns a live block
         // at its base (forwarded old names share the new block).
         if self.mem.block_words(desc.base).is_some() && desc.forward.is_none() {
             self.mem.free_block(desc.base)?;
+            self.book.on_block_freed(desc.base);
         }
         self.stats.frees[AllocStats::idx(kind)] += 1;
         Ok(())
@@ -284,10 +428,20 @@ impl ObjectSpace {
             d.base = new_abs;
             d.forward = Some(new_addr);
         }
+        // The new block (and its new name) enter the nursery; the aliases
+        // move with the storage, so the base index keeps the canonical
+        // (widest) name first, followed by every alias. A tenured alias
+        // re-pointed here is scanned by minor collections through the
+        // nursery-base rule, which keeps its forward edge live.
+        self.book.on_create(new_addr.segment(), new_abs);
+        if let Some(names) = self.book.base_names.get_mut(&new_abs.0) {
+            names.extend(aliases.iter().copied());
+        }
         for name in aliases {
             self.mmu.invalidate(team, name);
         }
         self.mem.free_block(old_base)?;
+        self.book.on_block_freed(old_base);
         Ok(new_addr)
     }
 
@@ -344,7 +498,11 @@ impl ObjectSpace {
     ) -> Result<(), MemError> {
         let t = self.translate(team, addr)?;
         self.stats.references[AllocStats::idx(kind)] += 1;
-        self.mem.write(t.abs, word)
+        self.mem.write(t.abs, word)?;
+        if word.as_ptr().is_some() {
+            self.note_pointer_store(t.abs);
+        }
+        Ok(())
     }
 
     /// Writes the word at `addr` (counted as an object reference).
@@ -380,7 +538,11 @@ impl ObjectSpace {
         kind: AllocKind,
     ) -> Result<(), MemError> {
         self.stats.references[AllocStats::idx(kind)] += 1;
-        self.mem.write(abs, word)
+        self.mem.write(abs, word)?;
+        if word.as_ptr().is_some() {
+            self.note_pointer_store(abs);
+        }
+        Ok(())
     }
 
     /// The class of the object at `addr` (one descriptor access).

@@ -280,6 +280,40 @@ end
     com_only: true,
 };
 
+/// `churn` — the generational-GC workload: a long-lived ballast array and
+/// a growing survivor collection (the tenured generation) against a stream
+/// of short-lived scratch arrays that die within one iteration (the
+/// nursery). Under a minor-collection cadence, reclamation cost tracks the
+/// per-iteration garbage; under full collections it tracks the whole live
+/// heap. Self-checking closed form: for n iterations,
+/// `acc = Σ i + Σ ((i mod 8)+1)`, `keep sum = Σ multiples of 10 ≤ n`, plus
+/// the ballast probe `big at: n = n`.
+pub const CHURN: Workload = Workload {
+    name: "churn",
+    description: "allocation churn against tenured ballast (generational GC)",
+    source: r#"
+class SmallInteger
+  method churnBench | n big keep tmp acc |
+    n := self.
+    big := (n * 4) newArray.
+    1 to: n * 4 do: [ :j | big at: j put: j ].
+    keep := OrderedCollection new init.
+    acc := 0.
+    1 to: n do: [ :i |
+      tmp := 8 newArray.
+      1 to: 8 do: [ :j | tmp at: j put: i + j ].
+      acc := acc + (tmp at: ((i \\ 8) + 1)).
+      (i \\ 10) = 0 ifTrue: [ keep add: i ] ].
+    ^acc + keep sum + (big at: n)
+  end
+end
+"#,
+    entry: "churnBench",
+    size: 200,
+    expected: 23300, // 20100 + 900 + 2100 + 200 (closed form above)
+    com_only: false,
+};
+
 /// `calls` — doubly recursive Fibonacci: maximal call/return density for
 /// the context cache and call-cost experiments.
 pub const CALLS: Workload = Workload {
@@ -397,6 +431,7 @@ pub fn all() -> Vec<Workload> {
         COLLECTIONS,
         IMAGE,
         CLOSURES,
+        CHURN,
         CALLS,
         SCHEDULER,
     ]
