@@ -1,0 +1,111 @@
+//! Multi-tenant session bench: emits `BENCH_sessions.json`.
+//!
+//! ```sh
+//! cargo run --release --bin bench_sessions                 # writes BENCH_sessions.json
+//! cargo run --release --bin bench_sessions -- out.json
+//! cargo run --release --bin bench_sessions -- out.json --sessions 16 --repeats 5
+//! ```
+//!
+//! Two measurements:
+//!
+//! * **Spin-up** (paired-median wall clock): a tenant `Session` over the
+//!   shared pre-decoded image vs a fresh compile + load of the same
+//!   program. Acceptance bar: ≥ 10× cheaper.
+//! * **Round-robin fidelity**: N tenants interleaved by the cooperative
+//!   scheduler must finish every workload with results and `CycleStats`
+//!   bit-identical to sequential execution (asserted exactly).
+
+use com_bench::print_table;
+use com_bench::sessions::{report, report_to_json};
+
+fn parse_args() -> (String, usize, u32) {
+    let mut out = "BENCH_sessions.json".to_string();
+    let mut sessions = 16usize;
+    let mut repeats = 5u32;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--sessions" => {
+                sessions = args
+                    .next()
+                    .expect("--sessions needs a count")
+                    .parse()
+                    .expect("sessions must be an integer");
+            }
+            "--repeats" => {
+                repeats = args
+                    .next()
+                    .expect("--repeats needs a count")
+                    .parse()
+                    .expect("repeats must be an integer");
+            }
+            other if other.starts_with("--") => {
+                panic!("unknown flag {other}; supported: --sessions n --repeats n")
+            }
+            other => out = other.to_string(),
+        }
+    }
+    (out, sessions, repeats)
+}
+
+fn main() {
+    let (out_path, sessions, repeats) = parse_args();
+    println!("sessions bench — {sessions} tenants, {repeats} paired spin-up rounds, median kept");
+
+    let r = report(sessions, repeats).unwrap_or_else(|e| panic!("sessions bench failed: {e}"));
+
+    println!(
+        "\nspin-up: fresh compile+load {} ns, shared-image session() {} ns — {:.1}x {}",
+        r.spinup.fresh_ns,
+        r.spinup.session_ns,
+        r.spinup.speedup(),
+        if r.spinup.speedup() >= 10.0 {
+            "(target ≥10x: MET)"
+        } else {
+            "(target ≥10x: MISSED)"
+        }
+    );
+
+    let table: Vec<Vec<String>> = r
+        .tenants
+        .iter()
+        .map(|t| {
+            vec![
+                format!("{}", t.tenant),
+                t.workload.to_string(),
+                format!("{}", t.result),
+                format!("{}", t.instructions),
+                format!("{}", t.slices),
+                if t.matches_sequential { "yes" } else { "NO" }.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!(
+            "{}-session round-robin ({} rounds) vs sequential",
+            r.sessions, r.rounds
+        ),
+        &[
+            "tenant",
+            "workload",
+            "result",
+            "instructions",
+            "slices",
+            "bit-identical",
+        ],
+        &table,
+    );
+    println!(
+        "\nround-robin fidelity: {}",
+        if r.all_match() {
+            "every tenant bit-identical to its sequential run"
+        } else {
+            "DIVERGENCE DETECTED"
+        }
+    );
+
+    let json = report_to_json(&r);
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
+    println!("\nwrote {out_path}");
+    assert!(r.all_match(), "round-robin diverged from sequential");
+}

@@ -120,6 +120,15 @@ impl MachineConfig {
         self
     }
 
+    /// Replaces the absolute-space size (`2^log2` words). Multi-tenant
+    /// embeddings size each session's object space to its workload; the
+    /// backing store is sparse, so this bounds addressability, not
+    /// resident memory.
+    pub fn with_space_log2(mut self, log2: u8) -> Self {
+        self.space_log2 = log2;
+        self
+    }
+
     /// Disables eager LIFO context freeing (T5's GC-burden comparison).
     pub fn without_eager_lifo_free(mut self) -> Self {
         self.eager_lifo_free = false;

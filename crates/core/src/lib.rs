@@ -30,6 +30,7 @@ mod config;
 mod ctxcache;
 mod exec;
 mod image;
+mod loaded;
 mod machine;
 mod pipeline;
 mod trap;
@@ -38,7 +39,8 @@ pub use config::MachineConfig;
 pub use ctxcache::{ContextCache, CtxCacheStats};
 pub use exec::data_op;
 pub use image::{MethodSource, ProgramImage};
-pub use machine::{GcTotals, Machine, RunResult};
+pub use loaded::LoadedImage;
+pub use machine::{GcTotals, Machine, RunOutcome, RunResult};
 
 // Re-exported so machine drivers can pick a collection scope without
 // depending on `com-mem` directly.

@@ -35,6 +35,7 @@
 use std::collections::{HashMap, HashSet};
 
 use std::rc::Rc;
+use std::sync::Arc;
 
 use com_cache::{AddrSet, CacheStats, FxBuildHasher, SetAssocCache};
 use com_fpa::{Fpa, SegmentName};
@@ -57,7 +58,7 @@ use crate::{
 /// per-step translation work of [`Operand`] — mode match, bias add,
 /// constant-table index — happens once, at decode.
 #[derive(Debug, Clone, Copy)]
-enum LowOperand {
+pub(crate) enum LowOperand {
     /// Current-context slot (raw context word offset, bias applied).
     Cur(u64),
     /// Next-context slot (raw context word offset, bias applied).
@@ -75,7 +76,7 @@ type HazardSrc = Option<(bool, u64)>;
 
 /// One instruction with its operands pre-lowered (§3.6 fast path).
 #[derive(Debug, Clone, Copy)]
-struct LowInstr {
+pub(crate) struct LowInstr {
     /// The original instruction (generic execution paths match on it).
     instr: Instr,
     /// Lowered A operand (three-address form only) — the destination, or
@@ -157,10 +158,53 @@ impl LowInstr {
     }
 }
 
+/// The position-independent payload of a decoded method: the lowered
+/// instruction stream and the pre-classed constant table. Bodies carry no
+/// memory addresses, so one body can back the same method in any number of
+/// machines — [`crate::LoadedImage`] pre-decodes every method once and
+/// every [`Machine::load_image`] call binds the shared bodies to that
+/// machine's stored code objects without re-decoding.
+#[derive(Debug)]
+pub(crate) struct DecodedBody {
+    pub(crate) consts: Vec<(Word, ClassId)>,
+    /// The instruction stream in decode-time lowered form; the original
+    /// [`Instr`] rides along in each entry for the generic paths.
+    pub(crate) low: Vec<LowInstr>,
+    #[allow(dead_code)]
+    pub(crate) n_args: u8,
+}
+
+impl DecodedBody {
+    /// Decodes a [`CodeObject`] directly (no machine, no memory reads).
+    /// Returns `None` when the method cannot be decoded
+    /// position-independently — a constant without a primitive class
+    /// (i.e. a pointer) needs the owning machine's space to classify, so
+    /// such methods fall back to the per-machine lazy decode.
+    pub(crate) fn from_code(code: &CodeObject) -> Option<DecodedBody> {
+        let mut consts = Vec::with_capacity(code.consts.len());
+        for w in &code.consts {
+            consts.push((*w, w.primitive_class()?));
+        }
+        let low = code
+            .instrs
+            .iter()
+            .map(|i| LowInstr::lower(*i, &consts))
+            .collect();
+        Some(DecodedBody {
+            consts,
+            low,
+            n_args: code.n_args,
+        })
+    }
+}
+
 /// A decoded, resident method (simulator-side cache; the architectural
 /// instruction cache is modelled separately for timing). Entries live in
 /// the machine's decoded-method slab and are reached from an ITLB hit by
 /// array index (the small integer carried in [`DefinedMethod::slab`]).
+/// The per-machine part is just the binding — base capability and
+/// absolute base of the stored code object; the body may be shared with
+/// other machines through a [`crate::LoadedImage`].
 #[derive(Debug)]
 struct Decoded {
     /// Base capability of the stored code object.
@@ -168,12 +212,8 @@ struct Decoded {
     /// Its absolute base (code objects are GC roots and the collector is
     /// non-moving, so this stays valid for the machine's lifetime).
     abs: AbsAddr,
-    consts: Vec<(Word, ClassId)>,
-    /// The instruction stream in decode-time lowered form; the original
-    /// [`Instr`] rides along in each entry for the generic paths.
-    low: Vec<LowInstr>,
-    #[allow(dead_code)]
-    n_args: u8,
+    /// The decoded instruction stream and constants (possibly shared).
+    body: Arc<DecodedBody>,
 }
 
 /// Instruction-cache storage: the flat probe array, or the legacy generic
@@ -297,6 +337,18 @@ impl GcTotals {
     }
 }
 
+/// The outcome of a bounded run ([`Machine::run_for`]): done, or out of
+/// budget with the machine ready to resume.
+#[derive(Debug, Clone)]
+pub enum RunOutcome {
+    /// The entry send returned; the machine halted with this result.
+    Done(RunResult),
+    /// The step budget was exhausted mid-program. Machine state (registers,
+    /// caches, GC cadence, statistics) is consistent; call
+    /// [`Machine::run_for`] again to continue.
+    OutOfBudget,
+}
+
 /// The outcome of a completed run.
 #[derive(Debug, Clone)]
 pub struct RunResult {
@@ -386,6 +438,12 @@ pub struct Machine {
     ip_gen: u64,
     pc: u64,
     privileged: bool,
+    /// Code root of the current send's synthesized entry method, released
+    /// (un-rooted, decode caches purged) once the send halts.
+    entry_base: Option<Fpa>,
+    /// Reusable slab slot for synthesized entry methods, so repeated sends
+    /// do not grow the decoded-method slab.
+    entry_slab: Option<u32>,
     result_cell: Option<Fpa>,
     last_dest: Option<(AbsAddr, u64)>,
     stats: CycleStats,
@@ -406,6 +464,52 @@ impl Machine {
         let context_class = classes
             .define("Context", Some(ClassTable::OBJECT), 0)
             .expect("fresh table");
+        Self::assemble(config, space, classes, context_class)
+    }
+
+    /// Boots a machine directly from a pre-decoded [`crate::LoadedImage`]
+    /// — the cheapest constructor. When the image's pre-booted template
+    /// matches `config`'s space geometry, the machine is assembled around
+    /// clones of the template's space, class table and decoded slab;
+    /// [`new`](Self::new)'s throwaway table and space are never built.
+    /// Otherwise this is exactly `Machine::new` + [`load_image`]
+    /// (Self::load_image).
+    ///
+    /// [`load_image`]: Self::load_image
+    ///
+    /// # Errors
+    ///
+    /// Propagates storage errors from the fallback path.
+    pub fn boot(
+        config: MachineConfig,
+        loaded: &crate::LoadedImage,
+    ) -> Result<Machine, MachineError> {
+        match loaded.template_for(config.format, config.space_log2) {
+            Some(t) => {
+                let mut space = t.space.lock().expect("template lock").clone();
+                if config.reference_interpreter {
+                    space.set_reference_paths(true);
+                }
+                let mut m = Self::assemble(config, space, t.classes.clone(), t.context_class);
+                m.finish_template_adopt(loaded, t);
+                Ok(m)
+            }
+            None => {
+                let mut m = Machine::new(config);
+                m.load_image(loaded)?;
+                Ok(m)
+            }
+        }
+    }
+
+    /// The common constructor tail: every register, cache and counter in
+    /// its boot state around the given space and class table.
+    fn assemble(
+        config: MachineConfig,
+        space: ObjectSpace,
+        classes: ClassTable,
+        context_class: ClassId,
+    ) -> Machine {
         Machine {
             reference: config.reference_interpreter,
             itlb: config.itlb.map(Itlb::new),
@@ -442,6 +546,8 @@ impl Machine {
             ip_gen: 0,
             pc: 0,
             privileged: false,
+            entry_base: None,
+            entry_slab: None,
             result_cell: None,
             last_dest: None,
             stats: CycleStats::default(),
@@ -459,16 +565,7 @@ impl Machine {
     ///
     /// Propagates storage errors.
     pub fn load(&mut self, image: &ProgramImage) -> Result<(), MachineError> {
-        self.classes = image.classes.clone();
-        self.atoms = image.atoms.clone();
-        self.opcodes = image.opcodes.clone();
-        self.context_class = match self.classes.by_name("Context") {
-            Some(c) => c,
-            None => self
-                .classes
-                .define("Context", Some(ClassTable::OBJECT), 0)
-                .expect("name free"),
-        };
+        self.adopt_tables(image);
         for m in &image.methods {
             let base = m.code.store(&mut self.space, self.team)?;
             self.code_roots.push(base);
@@ -480,15 +577,125 @@ impl Machine {
         }
         // Loading an image invalidates every decoded method: slab slots
         // cached in the ITLB would otherwise dangle into the old program.
+        self.invalidate_decoded();
+        Ok(())
+    }
+
+    /// Loads a pre-decoded [`crate::LoadedImage`]: adopts its tables, stores every
+    /// method's code object, and installs **pre-resolved** defined methods
+    /// whose decoded-slab entries reuse the image's shared bodies.
+    ///
+    /// This is the cheap multi-tenant boot path: the expensive work —
+    /// compiling, decoding, operand lowering — was done once when the
+    /// [`crate::LoadedImage`] was prepared, and is shared (via `Arc`) by every
+    /// machine loaded from it. Only the per-machine state is built here:
+    /// code words stored into this machine's object space and the slab
+    /// bound to their addresses.
+    ///
+    /// Architectural behaviour and [`CycleStats`] are identical to
+    /// [`load`](Self::load) followed by lazy decodes — decode work is
+    /// simulator-side and charges no cycles.
+    ///
+    /// # Errors
+    ///
+    /// Propagates storage errors.
+    pub fn load_image(&mut self, loaded: &crate::LoadedImage) -> Result<(), MachineError> {
+        let image = loaded.image();
+        // Fast boot: a pristine machine whose geometry matches the image's
+        // pre-booted template adopts the template wholesale — the space
+        // with code already stored, the installed class table, and the
+        // decoded slab are each one clone. (A machine that already holds
+        // objects must not have its space replaced; it takes the
+        // store-per-method path below.)
+        let pristine = self.space.memory().buddy().live_blocks() == 0;
+        if pristine {
+            if let Some(t) = loaded.template_for(self.config.format, self.config.space_log2) {
+                self.invalidate_decoded();
+                let mut space = t.space.lock().expect("template lock").clone();
+                if self.reference {
+                    space.set_reference_paths(true);
+                }
+                self.space = space;
+                self.classes = t.classes.clone();
+                self.context_class = t.context_class;
+                self.code_roots.clear();
+                self.finish_template_adopt(loaded, t);
+                return Ok(());
+            }
+        }
+        self.adopt_tables(image);
+        self.invalidate_decoded();
+        let decoded = &mut self.decoded;
+        let decoded_index = &mut self.decoded_index;
+        crate::loaded::store_and_install(
+            &mut self.space,
+            self.team,
+            &mut self.classes,
+            image,
+            |i| loaded.body(i),
+            &mut self.code_roots,
+            |base, abs, body| {
+                let id = u32::try_from(decoded.len()).expect("slab outgrew u32");
+                decoded.push(Rc::new(Decoded { base, abs, body }));
+                decoded_index.insert(base.raw(), id);
+                id
+            },
+        )?;
+        Ok(())
+    }
+
+    /// The shared tail of template adoption: interning tables, code
+    /// roots, and the decoded slab (classes, context class and space are
+    /// already in place).
+    fn finish_template_adopt(
+        &mut self,
+        loaded: &crate::LoadedImage,
+        t: &crate::loaded::BootTemplate,
+    ) {
+        self.atoms = loaded.image().atoms.clone();
+        self.opcodes = loaded.image().opcodes.clone();
+        self.code_roots.extend_from_slice(&t.code_roots);
+        self.decoded = t
+            .slab
+            .iter()
+            .map(|(base, abs, body)| {
+                Rc::new(Decoded {
+                    base: *base,
+                    abs: *abs,
+                    body: Arc::clone(body),
+                })
+            })
+            .collect();
+        self.decoded_index = t.index.clone();
+    }
+
+    /// Adopts an image's class hierarchy and interning tables.
+    fn adopt_tables(&mut self, image: &ProgramImage) {
+        self.classes = image.classes.clone();
+        self.atoms = image.atoms.clone();
+        self.opcodes = image.opcodes.clone();
+        self.context_class = match self.classes.by_name("Context") {
+            Some(c) => c,
+            None => self
+                .classes
+                .define("Context", Some(ClassTable::OBJECT), 0)
+                .expect("name free"),
+        };
+    }
+
+    /// Drops every decoded method (and the caches that reach them): slab
+    /// slots cached in the ITLB would otherwise dangle into an old program.
+    fn invalidate_decoded(&mut self) {
+        self.release_entry();
         self.decoded.clear();
         self.decoded_index.clear();
         self.methods_reference.clear();
         self.shadow.clear();
         self.cur_slab = DefinedMethod::UNRESOLVED;
+        self.entry_slab = None;
         if let Some(itlb) = &mut self.itlb {
             itlb.flush();
         }
-        Ok(())
     }
 
     /// The class table (inspection).
@@ -929,6 +1136,17 @@ impl Machine {
         if let Some(&id) = self.decoded_index.get(&base.raw()) {
             return Ok(id);
         }
+        let d = Rc::new(self.decode_from_memory(code)?);
+        let id = u32::try_from(self.decoded.len()).expect("slab outgrew u32");
+        self.decoded.push(d);
+        self.decoded_index.insert(base.raw(), id);
+        Ok(id)
+    }
+
+    /// Reads and decodes the code object at `code` from this machine's
+    /// object space (the honest path — no shared body available).
+    fn decode_from_memory(&mut self, code: Fpa) -> Result<Decoded, MachineError> {
+        let base = code.base();
         let t = self.space.translate(self.team, base)?;
         let n_instrs = self
             .space
@@ -969,17 +1187,69 @@ impl Machine {
             .iter()
             .map(|i| LowInstr::lower(*i, &consts))
             .collect();
-        let d = Rc::new(Decoded {
+        Ok(Decoded {
             base,
             abs: t.abs,
-            consts,
-            low,
-            n_args,
-        });
-        let id = u32::try_from(self.decoded.len()).expect("slab outgrew u32");
-        self.decoded.push(d);
+            body: Arc::new(DecodedBody {
+                consts,
+                low,
+                n_args,
+            }),
+        })
+    }
+
+    /// Decodes a synthesized entry method into the machine's reusable
+    /// entry slab slot (creating the slot on first use), so repeated sends
+    /// do not grow the slab. Mirrors what [`method_slot`](Self::method_slot)
+    /// would record on both the overhauled and reference residency paths.
+    fn install_entry(&mut self, code: Fpa) -> Result<u32, MachineError> {
+        let base = code.base();
+        let d = Rc::new(self.decode_from_memory(code)?);
+        let abs = d.abs;
+        let id = match self.entry_slab {
+            Some(slot) => {
+                self.decoded[slot as usize] = d;
+                slot
+            }
+            None => {
+                let id = u32::try_from(self.decoded.len()).expect("slab outgrew u32");
+                self.decoded.push(d);
+                self.entry_slab = Some(id);
+                id
+            }
+        };
         self.decoded_index.insert(base.raw(), id);
+        if self.reference {
+            self.methods_reference.insert(abs.0, id);
+        }
         Ok(id)
+    }
+
+    /// Releases the previous send's synthesized entry method, if any: the
+    /// code object loses its GC root (the collector may reclaim it) and
+    /// the decode caches are purged so a later code object recycling the
+    /// swept segment's name cannot hit the stale decode. Runs when a send
+    /// halts and again defensively at the next [`start_send`]
+    /// (covering sends that ended in a trap instead of a halt).
+    ///
+    /// [`start_send`]: Self::start_send
+    fn release_entry(&mut self) {
+        if let Some(base) = self.entry_base.take() {
+            if let Some(pos) = self.code_roots.iter().rposition(|f| *f == base) {
+                self.code_roots.swap_remove(pos);
+            }
+            if let Some(id) = self.decoded_index.remove(&base.base().raw()) {
+                let abs = self.decoded[id as usize].abs;
+                self.methods_reference.remove(&abs.0);
+            }
+        }
+    }
+
+    /// Number of code objects currently pinned as GC roots (observability
+    /// for the repeated-send leak regression tests: this must not grow
+    /// across completed sends).
+    pub fn code_root_count(&self) -> usize {
+        self.code_roots.len()
     }
 
     /// The decoded method at slab slot `id`.
@@ -1026,7 +1296,8 @@ impl Machine {
             Operand::Next(o) => self.ctx_read(true, o as u64),
             Operand::Const(i) => {
                 let (_, _, d) = self.ip.as_ref().ok_or(MachineError::NoContext)?;
-                d.consts
+                d.body
+                    .consts
                     .get(i as usize)
                     .copied()
                     .ok_or(MachineError::BadOperands {
@@ -1103,7 +1374,7 @@ impl Machine {
             Some((f, a, d)) => (*f, *a, Rc::clone(d)),
             None => return Err(MachineError::NoContext),
         };
-        if self.pc >= decoded.low.len() as u64 {
+        if self.pc >= decoded.body.low.len() as u64 {
             return Err(MachineError::BadMethod(method_fpa));
         }
         // Step 1: fetch through the instruction cache.
@@ -1113,7 +1384,7 @@ impl Machine {
                 self.stats.icache_miss_cycles += self.config.icache_miss_penalty;
             }
         }
-        let instr = decoded.low[self.pc as usize].instr;
+        let instr = decoded.body.low[self.pc as usize].instr;
         self.stats.instructions += 1;
         self.stats.base_cycles += 2;
         self.steps += 1;
@@ -1528,13 +1799,16 @@ impl Machine {
         let (rcp, _) = self.ctx_read_raw(false, CTX_RCP)?;
         let caller_fpa = match rcp {
             Word::Ptr(p) => p,
-            // RCP never set: returning from the entry send — halt.
+            // RCP never set: returning from the entry send — halt. The
+            // send is over, so its synthesized entry method is released
+            // (un-rooted and purged) here.
             _ => {
                 let result = match self.result_cell {
                     Some(cell) => self.mem_read(cell)?.0,
                     None => Word::Uninit,
                 };
                 self.halted = Some(result);
+                self.release_entry();
                 return Ok(());
             }
         };
@@ -1831,9 +2105,11 @@ impl Machine {
     ///
     /// # Errors
     ///
-    /// Returns [`MachineError::StepLimit`] if the program does not halt in
-    /// `max_steps` instructions, [`MachineError::DoesNotUnderstand`] for an
-    /// unknown selector, or any trap the program raises.
+    /// Returns [`MachineError::UnknownSelector`] if `selector` was never
+    /// interned in the loaded image, [`MachineError::StepLimit`] if the
+    /// program does not halt in `max_steps` instructions,
+    /// [`MachineError::DoesNotUnderstand`] for a selector no class answers,
+    /// or any trap the program raises.
     pub fn send(
         &mut self,
         selector: &str,
@@ -1841,12 +2117,51 @@ impl Machine {
         args: &[Word],
         max_steps: u64,
     ) -> Result<RunResult, MachineError> {
-        let opcode = self
-            .opcodes
-            .get(selector)
-            .unwrap_or_else(|| panic!("selector {selector:?} was never interned"));
+        let opcode = self.selector(selector)?;
         self.start_send(opcode, receiver, args)?;
         self.run(max_steps)
+    }
+
+    /// Resolves a selector name against the loaded image's interning
+    /// table — the one place a missing name becomes
+    /// [`MachineError::UnknownSelector`] (both [`send`](Self::send) and
+    /// the embedding facade route through here).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError::UnknownSelector`] if the name was never
+    /// interned.
+    pub fn selector(&self, name: &str) -> Result<Opcode, MachineError> {
+        self.opcodes
+            .get(name)
+            .ok_or_else(|| MachineError::UnknownSelector(name.to_string()))
+    }
+
+    /// Abandons the current send (in flight or completed): releases the
+    /// synthesized entry method's code root, drops the context registers,
+    /// instruction pointer and result cell from the root set, and
+    /// releases every context-cache block (resident contexts are pinned
+    /// by the collector, and with the registers gone their contents are
+    /// dead — free-list contexts are cleared on reuse, so nothing needs
+    /// writing back). The abandoned call graph is then fully collectable,
+    /// and the machine accepts a fresh [`start_send`](Self::start_send).
+    pub fn abort_send(&mut self) {
+        self.release_entry();
+        self.cp = None;
+        self.ncp = None;
+        self.ip = None;
+        self.result_cell = None;
+        self.halted = None;
+        self.shadow.clear();
+        self.last_dest = None;
+        self.cur_slab = DefinedMethod::UNRESOLVED;
+        if let Some(cc) = &mut self.cc {
+            cc.set_current(None);
+            cc.set_next(None);
+            for abs in cc.resident() {
+                cc.release(abs);
+            }
+        }
     }
 
     /// Prepares the bootstrap contexts and entry code for a send, without
@@ -1863,6 +2178,8 @@ impl Machine {
     ) -> Result<(), MachineError> {
         self.halted = None;
         self.shadow.clear();
+        // A trapped (never-halted) previous send left its entry rooted.
+        self.release_entry();
         // A one-word cell receives the program result.
         let cell = self
             .space
@@ -1884,6 +2201,7 @@ impl Machine {
         };
         let entry_base = entry.store(&mut self.space, self.team)?;
         self.code_roots.push(entry_base);
+        self.entry_base = Some(entry_base);
 
         // Bootstrap contexts: main (current) and the callee's (next).
         let mut main = self.alloc_context()?;
@@ -1908,7 +2226,7 @@ impl Machine {
             self.ctx_write_raw(true, CTX_ARG1 + 1 + i as u64, *a, c)?;
         }
 
-        let id = self.method_slot(entry_base)?;
+        let id = self.install_entry(entry_base)?;
         let (f, a, dec) = self.slab_entry(id);
         self.set_ip(f, a, dec);
         self.cur_slab = id;
@@ -1918,6 +2236,33 @@ impl Machine {
     }
 
     /// Runs until the entry send returns or `max_steps` is exhausted.
+    ///
+    /// Budget exhaustion surfaces as [`MachineError::StepLimit`]; callers
+    /// that want to treat an exhausted budget as a resumable yield rather
+    /// than an error should use [`run_for`](Self::run_for), which this
+    /// delegates to.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError::StepLimit`] on exhaustion or any trap.
+    pub fn run(&mut self, max_steps: u64) -> Result<RunResult, MachineError> {
+        match self.run_for(max_steps)? {
+            RunOutcome::Done(r) => Ok(r),
+            RunOutcome::OutOfBudget => Err(MachineError::StepLimit),
+        }
+    }
+
+    /// Runs for at most `budget` instructions, returning
+    /// [`RunOutcome::Done`] when the entry send completes and
+    /// [`RunOutcome::OutOfBudget`] when the budget runs out mid-program.
+    ///
+    /// Exhaustion is **not** an error: every machine invariant (registers,
+    /// caches, GC cadence, [`CycleStats`]) is consistent at the yield
+    /// point, and a later `run_for` continues exactly where this one
+    /// stopped — a program driven by many small budgets produces the same
+    /// result and bit-identical statistics as one uninterrupted run. This
+    /// is the engine primitive under the `com-vm` facade's resumable
+    /// `Session::resume` and its cooperative scheduler.
     ///
     /// This is the *threaded* hot loop: the current decoded method is
     /// borrowed across the inner loop and re-fetched only on control
@@ -1929,8 +2274,8 @@ impl Machine {
     ///
     /// # Errors
     ///
-    /// Returns [`MachineError::StepLimit`] on exhaustion or any trap.
-    pub fn run(&mut self, max_steps: u64) -> Result<RunResult, MachineError> {
+    /// Any trap the program raises.
+    pub fn run_for(&mut self, budget: u64) -> Result<RunOutcome, MachineError> {
         /// Why an inner threaded segment ended.
         enum SegEnd {
             /// The step budget ran out mid-method.
@@ -1947,17 +2292,17 @@ impl Machine {
             Trap(MachineError),
         }
 
-        let mut remaining = max_steps;
+        let mut remaining = budget;
         loop {
             if remaining == 0 {
-                return Err(MachineError::StepLimit);
+                return Ok(RunOutcome::OutOfBudget);
             }
             if let Some(result) = self.halted {
-                return Ok(RunResult {
+                return Ok(RunOutcome::Done(RunResult {
                     result,
                     stats: self.stats,
                     steps: self.steps,
-                });
+                }));
             }
             let (method_fpa, method_abs, dec) = match &self.ip {
                 Some((f, a, d)) => (*f, *a, Rc::clone(d)),
@@ -1974,7 +2319,7 @@ impl Machine {
                 if done == remaining {
                     break SegEnd::Budget;
                 }
-                let Some(low) = dec.low.get(self.pc as usize) else {
+                let Some(low) = dec.body.low.get(self.pc as usize) else {
                     break SegEnd::BadPc;
                 };
                 // Step 1: fetch through the instruction cache.
@@ -2021,11 +2366,11 @@ impl Machine {
                 SegEnd::Budget | SegEnd::Transfer => {}
                 SegEnd::Halt => {
                     let result = self.halted.expect("halt segment end");
-                    return Ok(RunResult {
+                    return Ok(RunOutcome::Done(RunResult {
                         result,
                         stats: self.stats,
                         steps: self.steps,
-                    });
+                    }));
                 }
                 SegEnd::GcDue => {
                     // Mirrors the reference interpreter's post-instruction
@@ -2466,6 +2811,160 @@ mod tests {
                 m.space.segment_at_base(abs).is_some(),
                 "resident context at {abs} lost its segment across a full GC"
             );
+        }
+    }
+
+    #[test]
+    fn send_of_uninterned_selector_errors_instead_of_panicking() {
+        let img = ProgramImage::empty();
+        let mut m = Machine::new(MachineConfig::default());
+        m.load(&img).unwrap();
+        match m.send("neverInterned:", Word::Int(1), &[], 100) {
+            Err(MachineError::UnknownSelector(name)) => {
+                assert_eq!(name, "neverInterned:");
+            }
+            other => panic!("expected UnknownSelector, got {other:?}"),
+        }
+        // The machine is still usable after the refused send.
+        let sel = m.intern_selector("stillFine");
+        assert!(m.opcodes().get("stillFine").is_some());
+        let _ = sel;
+    }
+
+    #[test]
+    fn repeated_sends_do_not_leak_entry_roots_or_heap() {
+        // The per-send leak: every `start_send` used to pin the synthesized
+        // entry method in `code_roots` forever, so roots (and the live heap
+        // under GC) grew linearly with sends.
+        let (img, _) = image_with(ClassId::SMALL_INT, "plus:", |asm| {
+            asm.emit_three(
+                Opcode::ADD,
+                Operand::Cur(3),
+                Operand::Cur(1),
+                Operand::Cur(2),
+            )
+            .unwrap();
+            asm.emit_three_ret(
+                Opcode::MOVE,
+                Operand::Cur(0),
+                Operand::Cur(3),
+                Operand::Cur(3),
+            )
+            .unwrap();
+        });
+        let mut m = Machine::new(MachineConfig::default());
+        m.load(&img).unwrap();
+        // Warm up past the context cache's 32 blocks: cache-resident
+        // contexts are pinned across collections (machine state), and each
+        // can keep one dead entry-code object alive through its stale RIP
+        // until its block is recycled — a *bounded* residual, saturated
+        // after a few dozen sends. Anything growing past this warmup is a
+        // real leak.
+        for _ in 0..40 {
+            m.send("plus:", Word::Int(1), &[Word::Int(2)], 10_000)
+                .unwrap();
+        }
+        let roots = m.code_root_count();
+        m.collect_garbage().unwrap();
+        let live = m.space().memory().buddy().allocated_words();
+        for i in 0..50 {
+            let out = m
+                .send("plus:", Word::Int(i), &[Word::Int(2)], 10_000)
+                .unwrap();
+            assert_eq!(out.result, Word::Int(i + 2));
+            assert_eq!(
+                m.code_root_count(),
+                roots,
+                "code roots grew across completed sends"
+            );
+        }
+        m.collect_garbage().unwrap();
+        assert_eq!(
+            m.space().memory().buddy().allocated_words(),
+            live,
+            "live heap grew across 50 completed sends"
+        );
+    }
+
+    #[test]
+    fn run_for_yields_and_resumes_bit_identically() {
+        // Driving a program with many tiny budgets must reproduce the
+        // one-shot run exactly: same result, same CycleStats, same steps.
+        let (img, _) = image_with(ClassId::SMALL_INT, "plus:", |asm| {
+            asm.emit_three(
+                Opcode::ADD,
+                Operand::Cur(3),
+                Operand::Cur(1),
+                Operand::Cur(2),
+            )
+            .unwrap();
+            asm.emit_three_ret(
+                Opcode::MOVE,
+                Operand::Cur(0),
+                Operand::Cur(3),
+                Operand::Cur(3),
+            )
+            .unwrap();
+        });
+        let one_shot = run(&img, "plus:", Word::Int(20), &[Word::Int(22)]);
+
+        let mut m = Machine::new(MachineConfig::default());
+        m.load(&img).unwrap();
+        let sel = m.opcodes().get("plus:").unwrap();
+        m.start_send(sel, Word::Int(20), &[Word::Int(22)]).unwrap();
+        let mut yields = 0u32;
+        let sliced = loop {
+            match m.run_for(1).unwrap() {
+                RunOutcome::Done(r) => break r,
+                RunOutcome::OutOfBudget => yields += 1,
+            }
+        };
+        assert_eq!(sliced.result, Word::Int(42));
+        assert_eq!(sliced.result, one_shot.result);
+        assert_eq!(sliced.stats, one_shot.stats);
+        assert_eq!(sliced.steps, one_shot.steps);
+        assert!(
+            yields >= sliced.steps as u32 - 1,
+            "budget of 1 must yield per step"
+        );
+    }
+
+    #[test]
+    fn load_image_shares_decoded_bodies_and_matches_lazy_load() {
+        // A LoadedImage-booted machine must behave (results + CycleStats)
+        // exactly like one that loaded the raw image and decoded lazily.
+        let (img, _) = image_with(ClassId::SMALL_INT, "plus:", |asm| {
+            asm.emit_three(
+                Opcode::ADD,
+                Operand::Cur(3),
+                Operand::Cur(1),
+                Operand::Cur(2),
+            )
+            .unwrap();
+            asm.emit_three_ret(
+                Opcode::MOVE,
+                Operand::Cur(0),
+                Operand::Cur(3),
+                Operand::Cur(3),
+            )
+            .unwrap();
+        });
+        let loaded = crate::LoadedImage::prepare(img.clone());
+        assert_eq!(loaded.predecoded(), loaded.methods());
+
+        let mut shared = Machine::new(MachineConfig::default());
+        shared.load_image(&loaded).unwrap();
+        let mut lazy = Machine::new(MachineConfig::default());
+        lazy.load(&img).unwrap();
+        for i in 0..10 {
+            let a = shared
+                .send("plus:", Word::Int(i), &[Word::Int(2)], 10_000)
+                .unwrap();
+            let b = lazy
+                .send("plus:", Word::Int(i), &[Word::Int(2)], 10_000)
+                .unwrap();
+            assert_eq!(a.result, b.result);
+            assert_eq!(a.stats, b.stats, "send {i}: stats diverged");
         }
     }
 

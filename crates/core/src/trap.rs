@@ -15,6 +15,11 @@ pub enum MachineError {
     Mem(MemError),
     /// An instruction decoding error.
     Isa(IsaError),
+    /// A send named a selector that was never interned in the loaded
+    /// image: no class could possibly answer it. Distinct from
+    /// [`MachineError::DoesNotUnderstand`], where the selector exists but
+    /// the receiver's class chain has no method for it.
+    UnknownSelector(String),
     /// No method found for this (selector, receiver class) — the Smalltalk
     /// doesNotUnderstand condition.
     DoesNotUnderstand {
@@ -95,6 +100,12 @@ impl core::fmt::Display for MachineError {
         match self {
             MachineError::Mem(e) => write!(f, "memory trap: {e}"),
             MachineError::Isa(e) => write!(f, "instruction error: {e}"),
+            MachineError::UnknownSelector(name) => {
+                write!(
+                    f,
+                    "selector {name:?} was never interned in the loaded image"
+                )
+            }
             MachineError::DoesNotUnderstand { opcode, class } => {
                 write!(f, "{class} does not understand {opcode}")
             }

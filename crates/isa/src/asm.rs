@@ -56,42 +56,23 @@ impl CodeObject {
     ///
     /// Propagates allocation and write errors.
     pub fn store(&self, space: &mut ObjectSpace, team: TeamId) -> Result<com_fpa::Fpa, MemError> {
+        let mut words = Vec::with_capacity(self.size_words() as usize);
+        words.push(Word::Int(self.instrs.len() as i64));
+        words.push(Word::Int(self.n_args as i64));
+        words.push(Word::Int(self.consts.len() as i64));
+        words.extend(self.instrs.iter().map(|i| Word::Instr(i.encode())));
+        words.extend_from_slice(&self.consts);
         // One pad word so a return continuation after the final instruction
-        // (`pc == n_instrs`) is still encodable within the segment.
-        let base = space.create(team, ClassId::INSTR, self.size_words() + 1, AllocKind::Code)?;
-        space.write_kind(
+        // (`pc == n_instrs`) is still encodable within the segment. It is
+        // never written (reads as Uninit), exactly like the word-by-word
+        // store it replaces.
+        space.create_filled(
             team,
-            base,
-            Word::Int(self.instrs.len() as i64),
+            ClassId::INSTR,
+            self.size_words() + 1,
             AllocKind::Code,
-        )?;
-        space.write_kind(
-            team,
-            base.with_offset(1)?,
-            Word::Int(self.n_args as i64),
-            AllocKind::Code,
-        )?;
-        space.write_kind(
-            team,
-            base.with_offset(2)?,
-            Word::Int(self.consts.len() as i64),
-            AllocKind::Code,
-        )?;
-        let mut off = Self::HEADER_WORDS;
-        for i in &self.instrs {
-            space.write_kind(
-                team,
-                base.with_offset(off)?,
-                Word::Instr(i.encode()),
-                AllocKind::Code,
-            )?;
-            off += 1;
-        }
-        for c in &self.consts {
-            space.write_kind(team, base.with_offset(off)?, *c, AllocKind::Code)?;
-            off += 1;
-        }
-        Ok(base)
+            &words,
+        )
     }
 }
 

@@ -158,24 +158,41 @@ impl BuddyAllocator {
     }
 }
 
+/// One live block's backing store.
+#[derive(Debug, Clone)]
+struct Block {
+    /// Power-of-two size in words.
+    words: u64,
+    /// The block's contents, dense. Allocated with the block (absolute
+    /// space is sparse at block granularity, not word granularity).
+    data: Vec<Word>,
+}
+
 /// The global absolute memory: a sparse word store plus the buddy allocator
-/// that places segments in it.
+/// that places segments in it. Storage is dense *per block* (one `Vec` per
+/// live block) in a slot-stable slab; the ordered base index only resolves
+/// a containing block on a bounds-check memo miss, so word access is O(1)
+/// — slot index plus offset — after the memoized lookup, and bulk fills
+/// are a straight copy.
 ///
 /// Reads and writes are bounds-checked against live blocks — the simulator
 /// equivalent of "it is impossible to express an erroneous operation".
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct AbsoluteMemory {
-    words: HashMap<u64, Word, FxBuildHasher>,
     buddy: BuddyAllocator,
-    /// base → words (power of two), for bounds checking; BTreeMap so a
-    /// containing block can be found by range query.
-    blocks: BTreeMap<u64, u64>,
-    /// The last block a bounds check hit: `(base, words)`. Accesses have
-    /// strong block locality (context words, the current method), so this
-    /// memo removes the tree walk from nearly every access. Invalidated on
-    /// any free (a memo hit must imply liveness; allocation only adds
-    /// blocks, so it cannot stale the memo).
-    last_block: std::cell::Cell<(u64, u64)>,
+    /// base → slab slot; BTreeMap so a containing block can be found by
+    /// range query.
+    index: BTreeMap<u64, u32>,
+    /// Slot-stable block storage (freed slots are recycled, with their
+    /// data dropped).
+    slots: Vec<Block>,
+    free_slots: Vec<u32>,
+    /// The last block a bounds check hit: `(base, words, slot)`. Accesses
+    /// have strong block locality (context words, the current method), so
+    /// this memo removes the tree walk from nearly every access.
+    /// Invalidated on any free (a memo hit must imply liveness;
+    /// allocation only adds blocks, so it cannot stale the memo).
+    last_block: std::cell::Cell<(u64, u64, u32)>,
     /// Disable the memo (pre-overhaul bounds checking: every access walks
     /// the tree). The wall-clock bench baseline opts in.
     reference: bool,
@@ -187,10 +204,11 @@ impl AbsoluteMemory {
     /// Creates a memory of `2^space_log2` words.
     pub fn new(space_log2: u8) -> Self {
         AbsoluteMemory {
-            words: HashMap::default(),
             buddy: BuddyAllocator::new(space_log2),
-            blocks: BTreeMap::new(),
-            last_block: std::cell::Cell::new((0, 0)),
+            index: BTreeMap::new(),
+            slots: Vec::new(),
+            free_slots: Vec::new(),
+            last_block: std::cell::Cell::new((0, 0, 0)),
             reference: false,
             reads: 0,
             writes: 0,
@@ -206,7 +224,23 @@ impl AbsoluteMemory {
     pub fn alloc_block(&mut self, words: u64) -> Result<AbsAddr, MemError> {
         let order = order_for(words);
         let base = self.buddy.alloc(order)?;
-        self.blocks.insert(base.0, 1u64 << order);
+        let words = 1u64 << order;
+        let block = Block {
+            words,
+            data: vec![Word::Uninit; words as usize],
+        };
+        let slot = match self.free_slots.pop() {
+            Some(slot) => {
+                self.slots[slot as usize] = block;
+                slot
+            }
+            None => {
+                let slot = u32::try_from(self.slots.len()).expect("slab outgrew u32");
+                self.slots.push(block);
+                slot
+            }
+        };
+        self.index.insert(base.0, slot);
         Ok(base)
     }
 
@@ -217,40 +251,49 @@ impl AbsoluteMemory {
     ///
     /// Returns [`MemError::UnmappedAbsolute`] if `base` is not a live block.
     pub fn free_block(&mut self, base: AbsAddr) -> Result<(), MemError> {
-        let words = *self
-            .blocks
+        let slot = *self
+            .index
             .get(&base.0)
             .ok_or(MemError::UnmappedAbsolute(base))?;
-        let order = order_for(words);
+        let block = &mut self.slots[slot as usize];
+        let order = order_for(block.words);
         self.buddy.free(base, order)?;
-        self.blocks.remove(&base.0);
-        self.last_block.set((0, 0));
-        for a in base.0..base.0 + words {
-            self.words.remove(&a);
-        }
+        *block = Block {
+            words: 0,
+            data: Vec::new(),
+        };
+        self.index.remove(&base.0);
+        self.free_slots.push(slot);
+        self.last_block.set((0, 0, 0));
         Ok(())
     }
 
     /// The power-of-two size of the live block at `base`.
     pub fn block_words(&self, base: AbsAddr) -> Option<u64> {
-        self.blocks.get(&base.0).copied()
+        self.index
+            .get(&base.0)
+            .map(|&slot| self.slots[slot as usize].words)
     }
 
     /// Selects the pre-overhaul bounds-check path (no memo).
     pub fn set_reference_paths(&mut self, reference: bool) {
         self.reference = reference;
-        self.last_block.set((0, 0));
+        self.last_block.set((0, 0, 0));
     }
 
-    fn check_mapped(&self, addr: AbsAddr) -> Result<(), MemError> {
-        let (base, words) = self.last_block.get();
+    /// Bounds-checks `addr` and returns its containing block's base and
+    /// slab slot (the word's storage index is `addr - base`).
+    #[inline]
+    fn locate(&self, addr: AbsAddr) -> Result<(u64, u32), MemError> {
+        let (base, words, slot) = self.last_block.get();
         if !self.reference && addr.0.wrapping_sub(base) < words {
-            return Ok(());
+            return Ok((base, slot));
         }
-        match self.blocks.range(..=addr.0).next_back() {
-            Some((&base, &words)) if addr.0 < base + words => {
-                self.last_block.set((base, words));
-                Ok(())
+        match self.index.range(..=addr.0).next_back() {
+            Some((&base, &slot)) if addr.0 < base + self.slots[slot as usize].words => {
+                self.last_block
+                    .set((base, self.slots[slot as usize].words, slot));
+                Ok((base, slot))
             }
             _ => Err(MemError::UnmappedAbsolute(addr)),
         }
@@ -260,17 +303,7 @@ impl AbsoluteMemory {
     /// bounds-check memo with [`read`](Self::read)/[`write`](Self::write),
     /// so the write barrier's block lookup is O(1) on the hot path.
     pub fn containing_base(&self, addr: AbsAddr) -> Option<AbsAddr> {
-        let (base, words) = self.last_block.get();
-        if !self.reference && addr.0.wrapping_sub(base) < words {
-            return Some(AbsAddr(base));
-        }
-        match self.blocks.range(..=addr.0).next_back() {
-            Some((&base, &words)) if addr.0 < base + words => {
-                self.last_block.set((base, words));
-                Some(AbsAddr(base))
-            }
-            _ => None,
-        }
+        self.locate(addr).ok().map(|(base, _)| AbsAddr(base))
     }
 
     /// Reads the word at `addr`.
@@ -279,9 +312,9 @@ impl AbsoluteMemory {
     ///
     /// Returns [`MemError::UnmappedAbsolute`] outside any live block.
     pub fn read(&mut self, addr: AbsAddr) -> Result<Word, MemError> {
-        self.check_mapped(addr)?;
+        let (base, slot) = self.locate(addr)?;
         self.reads += 1;
-        Ok(self.words.get(&addr.0).copied().unwrap_or(Word::Uninit))
+        Ok(self.slots[slot as usize].data[(addr.0 - base) as usize])
     }
 
     /// Writes the word at `addr`.
@@ -290,16 +323,44 @@ impl AbsoluteMemory {
     ///
     /// Returns [`MemError::UnmappedAbsolute`] outside any live block.
     pub fn write(&mut self, addr: AbsAddr, word: Word) -> Result<(), MemError> {
-        self.check_mapped(addr)?;
+        let (base, slot) = self.locate(addr)?;
         self.writes += 1;
-        self.words.insert(addr.0, word);
+        self.slots[slot as usize].data[(addr.0 - base) as usize] = word;
+        Ok(())
+    }
+
+    /// Writes a run of consecutive words starting at `base` — the bulk
+    /// path for loading whole objects (code stores). One bounds check
+    /// covers the run, which must lie inside a single live block (runs
+    /// are only ever written into a block that was just allocated for
+    /// them).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::UnmappedAbsolute`] if the run is not fully
+    /// inside one live block.
+    pub fn write_run(&mut self, base: AbsAddr, run: &[Word]) -> Result<(), MemError> {
+        if run.is_empty() {
+            return Ok(());
+        }
+        let (block_base, slot) = self.locate(base)?;
+        let block = &mut self.slots[slot as usize];
+        let start = (base.0 - block_base) as usize;
+        let end = start + run.len();
+        if end as u64 > block.words {
+            return Err(MemError::UnmappedAbsolute(AbsAddr(
+                base.0 + run.len() as u64 - 1,
+            )));
+        }
+        self.writes += run.len() as u64;
+        block.data[start..end].copy_from_slice(run);
         Ok(())
     }
 
     /// Non-recording read used by the garbage collector and diagnostics.
     pub fn peek(&self, addr: AbsAddr) -> Result<Word, MemError> {
-        self.check_mapped(addr)?;
-        Ok(self.words.get(&addr.0).copied().unwrap_or(Word::Uninit))
+        let (base, slot) = self.locate(addr)?;
+        Ok(self.slots[slot as usize].data[(addr.0 - base) as usize])
     }
 
     /// Clears a whole block to [`Word::Uninit`] (the context cache's
@@ -309,14 +370,11 @@ impl AbsoluteMemory {
     ///
     /// Returns [`MemError::UnmappedAbsolute`] if `base` is not a live block.
     pub fn clear_block(&mut self, base: AbsAddr) -> Result<(), MemError> {
-        let words = self
-            .blocks
+        let slot = *self
+            .index
             .get(&base.0)
-            .copied()
             .ok_or(MemError::UnmappedAbsolute(base))?;
-        for a in base.0..base.0 + words {
-            self.words.remove(&a);
-        }
+        self.slots[slot as usize].data.fill(Word::Uninit);
         Ok(())
     }
 
@@ -337,7 +395,9 @@ impl AbsoluteMemory {
 
     /// Iterates over live block bases and sizes.
     pub fn blocks(&self) -> impl Iterator<Item = (AbsAddr, u64)> + '_ {
-        self.blocks.iter().map(|(&b, &w)| (AbsAddr(b), w))
+        self.index
+            .iter()
+            .map(|(&b, &slot)| (AbsAddr(b), self.slots[slot as usize].words))
     }
 }
 

@@ -27,7 +27,7 @@ pub struct Translation {
 
 /// ATLB storage: the flat probe array, or the pre-overhaul generic cache
 /// (kept for the bench baseline). Architecturally interchangeable.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 enum Atlb {
     Flat(FlatCache<(TeamId, SegmentName), SegmentDescriptor>),
     Reference(SetAssocCache<(TeamId, SegmentName), SegmentDescriptor>),
@@ -80,7 +80,7 @@ impl Atlb {
 }
 
 /// The memory management unit: team spaces plus the ATLB.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Mmu {
     format: FpaFormat,
     teams: HashMap<TeamId, TeamSpace>,

@@ -113,7 +113,7 @@ impl AllocStats {
 /// machine's arrangement): one team's promotion clears the other's
 /// nursery/remembered state. Multi-team generational collection would need
 /// the book keyed by team — see the doc note on [`crate::gc::collect`].
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub(crate) struct GcBook {
     /// Segment names allocated since the last promotion — the minor-sweep
     /// candidates.
@@ -190,7 +190,7 @@ pub struct BarrierStats {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct ObjectSpace {
     mem: AbsoluteMemory,
     mmu: Mmu,
@@ -339,6 +339,51 @@ impl ObjectSpace {
         let i = AllocStats::idx(kind);
         self.stats.allocs[i] += 1;
         self.stats.words[i] += words.max(1);
+        Ok(addr)
+    }
+
+    /// Creates an object of `words` words and fills its first
+    /// `contents.len()` words in one pass — the bulk load path (code
+    /// stores, image boot). One translation and one bounds check cover the
+    /// whole fill; reference accounting and the pointer-store barrier
+    /// behave exactly as the equivalent sequence of per-word
+    /// [`write_kind`](Self::write_kind) calls would.
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation and mapping errors; `contents` longer than
+    /// `words` is a bounds error.
+    pub fn create_filled(
+        &mut self,
+        team: TeamId,
+        class: ClassId,
+        words: u64,
+        kind: AllocKind,
+        contents: &[Word],
+    ) -> Result<Fpa, MemError> {
+        let addr = self.create(team, class, words, kind)?;
+        if contents.is_empty() {
+            return Ok(addr);
+        }
+        if contents.len() as u64 > words.max(1) {
+            // Undo the allocation before reporting: the caller gets no
+            // handle back, so an object left behind here would be
+            // unfreeable.
+            self.free(team, addr, kind)?;
+            return Err(MemError::Bounds {
+                addr,
+                offset: contents.len() as u64 - 1,
+                length: words.max(1),
+            });
+        }
+        let abs = self.translate(team, addr)?.abs;
+        self.mem.write_run(abs, contents)?;
+        self.stats.references[AllocStats::idx(kind)] += contents.len() as u64;
+        for (i, w) in contents.iter().enumerate() {
+            if w.as_ptr().is_some() {
+                self.note_pointer_store(abs.offset(i as u64));
+            }
+        }
         Ok(addr)
     }
 

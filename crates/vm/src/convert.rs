@@ -1,0 +1,141 @@
+//! Typed conversions at the embedding boundary.
+//!
+//! The machine speaks tagged [`Word`]s; embedders speak Rust. [`ToWord`]
+//! carries receivers and arguments in, [`FromWord`] carries results out —
+//! `session.call::<i64>("factorial", 12)?` instead of wrapping and
+//! unwrapping raw words by hand.
+
+use com_mem::Word;
+use com_obj::AtomTable;
+
+use crate::VmError;
+
+/// A Rust value that can cross into the machine as a tagged word.
+pub trait ToWord {
+    /// The word this value becomes.
+    fn to_word(&self) -> Word;
+}
+
+impl ToWord for Word {
+    fn to_word(&self) -> Word {
+        *self
+    }
+}
+
+impl ToWord for i64 {
+    fn to_word(&self) -> Word {
+        Word::Int(*self)
+    }
+}
+
+impl ToWord for i32 {
+    fn to_word(&self) -> Word {
+        Word::Int(i64::from(*self))
+    }
+}
+
+impl ToWord for u32 {
+    fn to_word(&self) -> Word {
+        Word::Int(i64::from(*self))
+    }
+}
+
+impl ToWord for f64 {
+    fn to_word(&self) -> Word {
+        Word::Float(*self)
+    }
+}
+
+impl ToWord for bool {
+    fn to_word(&self) -> Word {
+        Word::Atom(if *self {
+            AtomTable::TRUE
+        } else {
+            AtomTable::FALSE
+        })
+    }
+}
+
+impl<T: ToWord + ?Sized> ToWord for &T {
+    fn to_word(&self) -> Word {
+        (**self).to_word()
+    }
+}
+
+/// A Rust value that can be read back out of a result word.
+pub trait FromWord: Sized {
+    /// Converts the word, or reports a [`VmError::Type`] mismatch.
+    fn from_word(w: Word) -> Result<Self, VmError>;
+}
+
+impl FromWord for Word {
+    fn from_word(w: Word) -> Result<Self, VmError> {
+        Ok(w)
+    }
+}
+
+impl FromWord for i64 {
+    fn from_word(w: Word) -> Result<Self, VmError> {
+        w.as_int().ok_or(VmError::Type {
+            expected: "i64",
+            got: w,
+        })
+    }
+}
+
+impl FromWord for f64 {
+    fn from_word(w: Word) -> Result<Self, VmError> {
+        w.as_float().ok_or(VmError::Type {
+            expected: "f64",
+            got: w,
+        })
+    }
+}
+
+impl FromWord for bool {
+    fn from_word(w: Word) -> Result<Self, VmError> {
+        match w {
+            Word::Atom(a) => AtomTable::truthiness(a).ok_or(VmError::Type {
+                expected: "bool",
+                got: w,
+            }),
+            Word::Int(i) => Ok(i != 0),
+            other => Err(VmError::Type {
+                expected: "bool",
+                got: other,
+            }),
+        }
+    }
+}
+
+impl FromWord for () {
+    fn from_word(_w: Word) -> Result<Self, VmError> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips() {
+        assert_eq!(42i64.to_word(), Word::Int(42));
+        assert_eq!(i64::from_word(Word::Int(42)).unwrap(), 42);
+        assert_eq!(f64::from_word(Word::Float(1.5)).unwrap(), 1.5);
+        assert_eq!(true.to_word(), Word::Atom(AtomTable::TRUE));
+        assert!(bool::from_word(Word::Atom(AtomTable::TRUE)).unwrap());
+        assert!(!bool::from_word(Word::Atom(AtomTable::FALSE)).unwrap());
+        assert!(bool::from_word(Word::Int(3)).unwrap());
+    }
+
+    #[test]
+    fn mismatches_are_typed_errors() {
+        match i64::from_word(Word::Float(1.0)) {
+            Err(VmError::Type {
+                expected: "i64", ..
+            }) => {}
+            other => panic!("expected type error, got {other:?}"),
+        }
+    }
+}

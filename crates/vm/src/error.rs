@@ -1,0 +1,114 @@
+//! The unified embedding error.
+
+use com_core::MachineError;
+use com_mem::Word;
+use com_stc::CompileError;
+
+/// Everything that can go wrong at the embedding boundary, in one type:
+/// compilation, machine traps, and the facade's own conditions (type
+/// mismatches at the typed-call boundary, protocol misuse of the
+/// resumable-call API).
+#[derive(Debug, Clone, PartialEq)]
+pub enum VmError {
+    /// Source text failed to compile.
+    Compile(CompileError),
+    /// The machine trapped (or refused the send).
+    Machine(MachineError),
+    /// A typed call's result did not convert to the requested Rust type.
+    Type {
+        /// What the caller asked for (e.g. `"i64"`).
+        expected: &'static str,
+        /// The word the program actually produced.
+        got: Word,
+    },
+    /// A selector that no loaded source ever mentioned.
+    UnknownSelector(String),
+    /// The step budget of a one-shot [`call`](crate::Session::call) ran
+    /// out before the program finished. Use
+    /// [`call_start`](crate::Session::call_start) +
+    /// [`resume`](crate::Session::resume) to treat exhaustion as a yield
+    /// instead of an error.
+    OutOfFuel {
+        /// The budget that was exhausted.
+        budget: u64,
+    },
+    /// [`resume`](crate::Session::resume) was called with no call in
+    /// flight.
+    NoCallInProgress,
+    /// [`call_start`](crate::Session::call_start) (or a one-shot call) was
+    /// issued while an earlier resumable call was still in flight.
+    CallInProgress,
+}
+
+impl From<CompileError> for VmError {
+    fn from(e: CompileError) -> Self {
+        VmError::Compile(e)
+    }
+}
+
+impl From<MachineError> for VmError {
+    fn from(e: MachineError) -> Self {
+        match e {
+            MachineError::UnknownSelector(name) => VmError::UnknownSelector(name),
+            other => VmError::Machine(other),
+        }
+    }
+}
+
+impl core::fmt::Display for VmError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            VmError::Compile(e) => write!(f, "compile error: {e}"),
+            VmError::Machine(e) => write!(f, "machine trap: {e}"),
+            VmError::Type { expected, got } => {
+                write!(f, "result {got} does not convert to {expected}")
+            }
+            VmError::UnknownSelector(name) => {
+                write!(
+                    f,
+                    "unknown selector {name:?} (never mentioned by any loaded source)"
+                )
+            }
+            VmError::OutOfFuel { budget } => {
+                write!(f, "call did not complete within its {budget}-step budget")
+            }
+            VmError::NoCallInProgress => write!(f, "resume with no call in progress"),
+            VmError::CallInProgress => {
+                write!(f, "a resumable call is already in progress on this session")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            VmError::Compile(e) => Some(e),
+            VmError::Machine(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn machine_unknown_selector_lifts_to_the_facade_variant() {
+        let e: VmError = MachineError::UnknownSelector("foo".into()).into();
+        assert_eq!(e, VmError::UnknownSelector("foo".into()));
+        assert!(e.to_string().contains("foo"));
+    }
+
+    #[test]
+    fn display_is_specific() {
+        let e = VmError::Type {
+            expected: "i64",
+            got: Word::Atom(com_mem::AtomId(1)),
+        };
+        assert!(e.to_string().contains("i64"));
+        let e = VmError::OutOfFuel { budget: 100 };
+        assert!(e.to_string().contains("100"));
+    }
+}

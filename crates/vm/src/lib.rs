@@ -1,0 +1,430 @@
+//! **com-vm** — the embedding facade over the COM engine: compile once,
+//! serve many tenants.
+//!
+//! The engine crate (`com-core`) exposes a lab bench: one [`Machine`]
+//! married to one image, raw [`Word`]s at the boundary, a step budget that
+//! surfaces as an error. This crate is the API the machine was *built
+//! for* — many concurrent object programs over shared program structure:
+//!
+//! * [`VmBuilder`] compiles sources **once** into a shared, immutable
+//!   [`Arc<LoadedImage>`] — classes, atoms, selectors, and every method
+//!   pre-decoded to the interpreter's lowered fast-path form.
+//! * [`Vm::session`] spawns cheap, isolated [`Session`]s that own only
+//!   mutable state (object space, context cache, statistics). Spinning a
+//!   session up never re-compiles or re-decodes.
+//! * Sessions expose **typed calls** ([`ToWord`]/[`FromWord`]):
+//!   `session.call::<i64>("factorial", 12)?`, under one [`VmError`].
+//! * Execution is **resumable**: [`Session::call_start`] +
+//!   [`Session::resume`] return [`Outcome::Yielded`] when a budget runs
+//!   out, instead of abusing a step-limit error — and the cooperative
+//!   [`Scheduler`] round-robins any number of in-flight sessions with
+//!   per-tenant results and statistics bit-identical to solo runs.
+//!
+//! ```
+//! use com_vm::{Outcome, Vm};
+//!
+//! # fn main() -> Result<(), com_vm::VmError> {
+//! // Compile once...
+//! let vm = Vm::new(
+//!     "class SmallInteger method factorial
+//!        self < 2 ifTrue: [ ^1 ]. ^self * (self - 1) factorial
+//!      end end",
+//! )?;
+//!
+//! // ...serve many isolated tenants.
+//! let mut alice = vm.session()?;
+//! let mut bob = vm.session()?;
+//! assert_eq!(alice.call::<i64>("factorial", 12)?, 479_001_600);
+//!
+//! // Resumable execution: run bob in 100-instruction slices.
+//! bob.call_start("factorial", 20)?;
+//! let answer = loop {
+//!     match bob.resume::<i64>(100)? {
+//!         Outcome::Done(n) => break n,
+//!         Outcome::Yielded => { /* interleave other tenants here */ }
+//!     }
+//! };
+//! assert_eq!(answer, 2_432_902_008_176_640_000);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod convert;
+mod error;
+mod sched;
+mod session;
+
+pub use convert::{FromWord, ToWord};
+pub use error::VmError;
+pub use sched::{Scheduler, TaskId};
+pub use session::{Outcome, Session};
+
+// The engine types an embedder meets at this boundary.
+pub use com_core::{
+    CycleStats, GcTotals, LoadedImage, Machine, MachineConfig, ProgramImage, RunResult,
+};
+pub use com_mem::Word;
+pub use com_stc::CompileOptions;
+
+use std::sync::Arc;
+
+/// Builds a [`Vm`]: gathers source text, compiles it once, pre-decodes
+/// every method.
+///
+/// ```
+/// # fn main() -> Result<(), com_vm::VmError> {
+/// let vm = com_vm::Vm::builder()
+///     .source("class SmallInteger method double ^self + self end end")
+///     .source("class SmallInteger method quad ^self double double end end")
+///     .build()?;
+/// assert_eq!(vm.session()?.call::<i64>("quad", 4)?, 16);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct VmBuilder {
+    sources: Vec<String>,
+    options: CompileOptions,
+    config: MachineConfig,
+}
+
+impl VmBuilder {
+    /// An empty builder with default compile options and machine config.
+    pub fn new() -> VmBuilder {
+        VmBuilder {
+            sources: Vec::new(),
+            options: CompileOptions::default(),
+            config: MachineConfig::default(),
+        }
+    }
+
+    /// Appends source text (classes may be reopened across chunks; the
+    /// standard library is prepended once at compile time). Compile
+    /// errors report positions in the joined text — the same coordinate
+    /// space `compile_com` already uses for its stdlib-prepended input —
+    /// so a position from a later chunk is offset by the chunks before
+    /// it.
+    pub fn source(mut self, text: &str) -> VmBuilder {
+        self.sources.push(text.to_string());
+        self
+    }
+
+    /// Replaces the compile options (inlining ablations, stdlib).
+    pub fn options(mut self, options: CompileOptions) -> VmBuilder {
+        self.options = options;
+        self
+    }
+
+    /// Replaces the machine configuration every session boots with.
+    pub fn config(mut self, config: MachineConfig) -> VmBuilder {
+        self.config = config;
+        self
+    }
+
+    /// Compiles the gathered sources once and prepares the shared image.
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::Compile`] on any lexical, syntactic or semantic error.
+    pub fn build(self) -> Result<Vm, VmError> {
+        let joined = self.sources.join("\n");
+        let image = com_stc::compile_com(&joined, self.options)?;
+        Ok(Vm {
+            image: Arc::new(LoadedImage::prepare_for(image, &self.config)),
+            config: self.config,
+        })
+    }
+}
+
+/// A compiled program ready to serve tenants: one shared, immutable
+/// [`LoadedImage`] plus the [`MachineConfig`] sessions boot with.
+///
+/// `Vm` is cheap to clone (the image is behind an [`Arc`]) and the image
+/// is `Send + Sync`, so sessions may be spawned and driven from any
+/// thread.
+#[derive(Debug, Clone)]
+pub struct Vm {
+    image: Arc<LoadedImage>,
+    config: MachineConfig,
+}
+
+impl Vm {
+    /// Compiles `source` with default options into a ready `Vm` — the
+    /// one-liner for the common case.
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::Compile`] on any compile error.
+    pub fn new(source: &str) -> Result<Vm, VmError> {
+        Vm::builder().source(source).build()
+    }
+
+    /// Starts a builder.
+    pub fn builder() -> VmBuilder {
+        VmBuilder::new()
+    }
+
+    /// Wraps an already-compiled (or hand-assembled) [`ProgramImage`].
+    pub fn from_image(image: ProgramImage, config: MachineConfig) -> Vm {
+        Vm {
+            image: Arc::new(LoadedImage::prepare_for(image, &config)),
+            config,
+        }
+    }
+
+    /// Spawns a fresh, isolated tenant session over the shared image.
+    ///
+    /// This is the cheap path: no compilation, no decoding — the new
+    /// session's machine stores the image's code words into its own
+    /// object space and binds the shared pre-decoded bodies.
+    ///
+    /// # Errors
+    ///
+    /// Propagates storage errors from the boot.
+    pub fn session(&self) -> Result<Session, VmError> {
+        Session::boot(Arc::clone(&self.image), self.config)
+    }
+
+    /// The shared image.
+    pub fn image(&self) -> &Arc<LoadedImage> {
+        &self.image
+    }
+
+    /// The machine configuration sessions boot with.
+    pub fn config(&self) -> MachineConfig {
+        self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FACTORIAL: &str = r#"
+        class SmallInteger
+          method factorial | acc |
+            acc := 1.
+            1 to: self do: [ :i | acc := acc * i ].
+            ^acc
+          end
+        end
+    "#;
+
+    #[test]
+    fn typed_call_round_trip() {
+        let vm = Vm::new(FACTORIAL).unwrap();
+        let mut s = vm.session().unwrap();
+        assert_eq!(s.call::<i64>("factorial", 12).unwrap(), 479_001_600);
+        // Typed mismatch surfaces as a VmError::Type, not a panic.
+        match s.call::<f64>("factorial", 3) {
+            Err(VmError::Type {
+                expected: "f64", ..
+            }) => {}
+            other => panic!("expected type error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sessions_share_one_image_and_are_isolated() {
+        let vm = Vm::new(FACTORIAL).unwrap();
+        assert_eq!(vm.image().predecoded(), vm.image().methods());
+        let mut a = vm.session().unwrap();
+        let mut b = vm.session().unwrap();
+        assert!(Arc::ptr_eq(a.image(), b.image()));
+        assert_eq!(a.call::<i64>("factorial", 10).unwrap(), 3_628_800);
+        // b's statistics are untouched by a's work.
+        assert_eq!(b.stats().instructions, 0);
+        assert_eq!(b.call::<i64>("factorial", 5).unwrap(), 120);
+    }
+
+    #[test]
+    fn unknown_selector_is_an_error() {
+        let vm = Vm::new(FACTORIAL).unwrap();
+        let mut s = vm.session().unwrap();
+        match s.call::<i64>("frobnicate", 1) {
+            Err(VmError::UnknownSelector(name)) => assert_eq!(name, "frobnicate"),
+            other => panic!("expected UnknownSelector, got {other:?}"),
+        }
+        // The session survives the refused call.
+        assert_eq!(s.call::<i64>("factorial", 3).unwrap(), 6);
+    }
+
+    #[test]
+    fn out_of_fuel_is_an_error_only_for_one_shot_calls() {
+        let vm = Vm::new(FACTORIAL).unwrap();
+        let mut s = vm.session().unwrap();
+        s.set_step_limit(10);
+        match s.call::<i64>("factorial", 100) {
+            Err(VmError::OutOfFuel { budget: 10 }) => {}
+            other => panic!("expected OutOfFuel, got {other:?}"),
+        }
+        s.set_step_limit(u64::MAX);
+        assert_eq!(s.call::<i64>("factorial", 5).unwrap(), 120);
+    }
+
+    #[test]
+    fn resumable_call_yields_then_completes_bit_identically() {
+        let vm = Vm::new(FACTORIAL).unwrap();
+        let mut one_shot = vm.session().unwrap();
+        let expected = one_shot.call::<i64>("factorial", 12).unwrap();
+        let solo = one_shot.last_run().unwrap().clone();
+
+        let mut sliced = vm.session().unwrap();
+        sliced.call_start("factorial", 12).unwrap();
+        assert!(sliced.in_flight());
+        let mut yields = 0;
+        let got = loop {
+            match sliced.resume::<i64>(7).unwrap() {
+                Outcome::Done(n) => break n,
+                Outcome::Yielded => yields += 1,
+            }
+        };
+        assert_eq!(got, expected);
+        assert!(yields > 0, "a 7-step slice must yield at least once");
+        assert!(!sliced.in_flight());
+        let run = sliced.last_run().unwrap();
+        assert_eq!(run.stats, solo.stats, "sliced run diverged from solo run");
+        assert_eq!(run.steps, solo.steps);
+    }
+
+    #[test]
+    fn resumable_protocol_misuse_is_reported() {
+        let vm = Vm::new(FACTORIAL).unwrap();
+        let mut s = vm.session().unwrap();
+        assert_eq!(s.resume::<i64>(10), Err(VmError::NoCallInProgress));
+        s.call_start("factorial", 50).unwrap();
+        assert_eq!(s.call_start("factorial", 1), Err(VmError::CallInProgress));
+        match s.call::<i64>("factorial", 1) {
+            Err(VmError::CallInProgress) => {}
+            other => panic!("expected CallInProgress, got {other:?}"),
+        }
+        s.cancel();
+        assert_eq!(s.call::<i64>("factorial", 3).unwrap(), 6);
+    }
+
+    #[test]
+    fn cancel_releases_the_abandoned_call_graph() {
+        let vm = Vm::new(FACTORIAL).unwrap();
+        let mut s = vm.session().unwrap();
+        // Baseline: a completed call, heap collected.
+        let _: i64 = s.call("factorial", 8).unwrap();
+        let roots = s.machine().code_root_count();
+        s.machine_mut().collect_garbage().unwrap();
+        let live = s.space().memory().buddy().allocated_words();
+        // Start a call, run a few slices, abandon it.
+        s.call_start("factorial", 500).unwrap();
+        assert_eq!(s.resume::<i64>(50).unwrap(), Outcome::Yielded);
+        s.cancel();
+        assert_eq!(
+            s.machine().code_root_count(),
+            roots,
+            "cancel must un-root the abandoned entry method"
+        );
+        s.machine_mut().collect_garbage().unwrap();
+        assert!(
+            s.space().memory().buddy().allocated_words() <= live,
+            "abandoned call graph must be collectable after cancel"
+        );
+        // The session still works.
+        assert_eq!(s.call::<i64>("factorial", 3).unwrap(), 6);
+    }
+
+    #[test]
+    fn scheduler_round_robins_fairly() {
+        let vm = Vm::new(FACTORIAL).unwrap();
+        let mut sched = Scheduler::new(50);
+        let mut ids = Vec::new();
+        for n in [5i64, 10, 15, 20] {
+            let mut s = vm.session().unwrap();
+            s.call_start("factorial", n).unwrap();
+            ids.push(sched.spawn(s).unwrap());
+        }
+        sched.run();
+        assert_eq!(sched.result_as::<i64>(ids[0]).unwrap(), Some(120));
+        assert_eq!(
+            sched.result_as::<i64>(ids[3]).unwrap(),
+            Some(2_432_902_008_176_640_000)
+        );
+        // Fairness: the longest task got at least as many slices as the
+        // shortest, and every task got at least one.
+        assert!(sched.slices(ids[3]) >= sched.slices(ids[0]));
+        assert!(sched.slices(ids[0]) >= 1);
+        assert!(sched.rounds() >= sched.slices(ids[3]));
+    }
+
+    #[test]
+    fn scheduler_interleaving_matches_solo_stats() {
+        let vm = Vm::new(FACTORIAL).unwrap();
+        // Solo baselines.
+        let mut solos = Vec::new();
+        for n in [6i64, 11, 17] {
+            let mut s = vm.session().unwrap();
+            let _ = s.call::<i64>("factorial", n).unwrap();
+            solos.push(s.last_run().unwrap().clone());
+        }
+        // The same three workloads, interleaved in 13-step slices.
+        let mut sched = Scheduler::new(13);
+        let mut ids = Vec::new();
+        for n in [6i64, 11, 17] {
+            let mut s = vm.session().unwrap();
+            s.call_start("factorial", n).unwrap();
+            ids.push(sched.spawn(s).unwrap());
+        }
+        sched.run();
+        for (i, id) in ids.iter().enumerate() {
+            let run = sched.session(*id).unwrap().last_run().unwrap();
+            assert_eq!(run.result, solos[i].result);
+            assert_eq!(run.stats, solos[i].stats, "task {i} stats diverged");
+        }
+    }
+
+    #[test]
+    fn trapped_task_does_not_stall_the_scheduler() {
+        let vm = Vm::new(
+            "class SmallInteger
+               method boom ^1 / (self - self) end
+               method fine ^self + 1 end
+             end",
+        )
+        .unwrap();
+        let mut sched = Scheduler::new(100);
+        let mut bad = vm.session().unwrap();
+        bad.call_start("boom", 3).unwrap();
+        let bad_id = sched.spawn(bad).unwrap();
+        let mut good = vm.session().unwrap();
+        good.call_start("fine", 3).unwrap();
+        let good_id = sched.spawn(good).unwrap();
+        sched.run();
+        assert!(sched.error(bad_id).is_some());
+        assert_eq!(sched.result_as::<i64>(good_id).unwrap(), Some(4));
+    }
+
+    #[test]
+    fn from_image_supports_hand_assembled_programs() {
+        use com_isa::{Assembler, Opcode, Operand};
+        use com_mem::ClassId;
+        let mut img = ProgramImage::empty();
+        let sel = img.opcodes.intern("double");
+        let mut asm = Assembler::new("SmallInteger>>double", 1);
+        asm.emit_three(
+            Opcode::ADD,
+            Operand::Cur(2),
+            Operand::Cur(1),
+            Operand::Cur(1),
+        )
+        .unwrap();
+        asm.emit_three_ret(
+            Opcode::MOVE,
+            Operand::Cur(0),
+            Operand::Cur(2),
+            Operand::Cur(2),
+        )
+        .unwrap();
+        img.add_method(ClassId::SMALL_INT, sel, asm.finish().unwrap());
+        let vm = Vm::from_image(img, MachineConfig::default());
+        assert_eq!(vm.session().unwrap().call::<i64>("double", 21).unwrap(), 42);
+    }
+}

@@ -1,0 +1,166 @@
+//! A cooperative round-robin scheduler over resumable sessions.
+
+use com_mem::Word;
+
+use crate::{FromWord, Outcome, Session, VmError};
+
+/// Handle to a task spawned on a [`Scheduler`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TaskId(usize);
+
+#[derive(Debug)]
+struct Task {
+    session: Session,
+    result: Option<Word>,
+    error: Option<VmError>,
+    slices: u64,
+}
+
+/// Interleaves any number of in-flight [`Session`] calls on one thread by
+/// giving each a fixed instruction budget per round, in spawn order.
+///
+/// Because sessions are fully isolated (each owns its object space,
+/// caches and statistics) and [`Session::resume`] yields at consistent
+/// machine states, interleaving N tenants produces, for every tenant,
+/// results and [`com_core::CycleStats`] bit-identical to running it
+/// alone — fairness costs nothing in fidelity. The `bench_sessions`
+/// pipeline asserts exactly that.
+///
+/// ```
+/// # fn main() -> Result<(), com_vm::VmError> {
+/// let vm = com_vm::Vm::new(
+///     "class SmallInteger method tri ^self * (self + 1) / 2 end end",
+/// )?;
+/// let mut sched = com_vm::Scheduler::new(500);
+/// let mut ids = Vec::new();
+/// for n in [10i64, 100, 1000] {
+///     let mut s = vm.session()?;
+///     s.call_start("tri", n)?;
+///     ids.push(sched.spawn(s)?);
+/// }
+/// sched.run();
+/// assert_eq!(sched.result_as::<i64>(ids[2])?, Some(500_500));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Scheduler {
+    slice: u64,
+    tasks: Vec<Task>,
+    rounds: u64,
+}
+
+impl Scheduler {
+    /// A scheduler granting each task `slice` instructions per round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slice` is zero (no task could ever progress).
+    pub fn new(slice: u64) -> Scheduler {
+        assert!(slice > 0, "a zero slice starves every task");
+        Scheduler {
+            slice,
+            tasks: Vec::new(),
+            rounds: 0,
+        }
+    }
+
+    /// Adds a session whose resumable call is in flight (see
+    /// [`Session::call_start`]).
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::NoCallInProgress`] if the session has nothing to resume.
+    pub fn spawn(&mut self, session: Session) -> Result<TaskId, VmError> {
+        if !session.in_flight() {
+            return Err(VmError::NoCallInProgress);
+        }
+        let id = TaskId(self.tasks.len());
+        self.tasks.push(Task {
+            session,
+            result: None,
+            error: None,
+            slices: 0,
+        });
+        Ok(id)
+    }
+
+    /// Runs one round-robin sweep: every unfinished task gets one slice.
+    /// Returns `true` when every task has finished (or trapped). Per-task
+    /// traps are recorded and reported by [`error`](Self::error) — a
+    /// trapped task simply stops being scheduled.
+    pub fn tick(&mut self) -> bool {
+        let slice = self.slice;
+        let mut all_done = true;
+        for task in &mut self.tasks {
+            if task.result.is_some() || task.error.is_some() {
+                continue;
+            }
+            task.slices += 1;
+            match task.session.resume_raw(slice) {
+                Ok(Outcome::Done(w)) => task.result = Some(w),
+                Ok(Outcome::Yielded) => all_done = false,
+                Err(e) => task.error = Some(e),
+            }
+        }
+        self.rounds += 1;
+        all_done
+    }
+
+    /// Round-robins until every task finishes (or traps).
+    pub fn run(&mut self) {
+        while !self.tick() {}
+    }
+
+    /// Number of tasks spawned.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Whether no task was spawned.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Rounds swept so far.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// A finished task's raw result word.
+    pub fn result(&self, id: TaskId) -> Option<Word> {
+        self.tasks.get(id.0).and_then(|t| t.result)
+    }
+
+    /// A finished task's result, converted.
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::Type`] if the result does not convert.
+    pub fn result_as<R: FromWord>(&self, id: TaskId) -> Result<Option<R>, VmError> {
+        match self.result(id) {
+            Some(w) => Ok(Some(R::from_word(w)?)),
+            None => Ok(None),
+        }
+    }
+
+    /// The trap that ended a task, if it trapped.
+    pub fn error(&self, id: TaskId) -> Option<&VmError> {
+        self.tasks.get(id.0).and_then(|t| t.error.as_ref())
+    }
+
+    /// Slices granted to a task so far (fairness observability).
+    pub fn slices(&self, id: TaskId) -> u64 {
+        self.tasks.get(id.0).map_or(0, |t| t.slices)
+    }
+
+    /// Borrow of a task's session (statistics inspection).
+    pub fn session(&self, id: TaskId) -> Option<&Session> {
+        self.tasks.get(id.0).map(|t| &t.session)
+    }
+
+    /// Tears the scheduler down into its sessions, in spawn order.
+    pub fn into_sessions(self) -> Vec<Session> {
+        self.tasks.into_iter().map(|t| t.session).collect()
+    }
+}

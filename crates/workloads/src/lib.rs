@@ -10,11 +10,12 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
-use com_core::{Machine, MachineConfig, MachineError, RunResult};
+use com_core::{MachineConfig, MachineError, RunResult};
 use com_fith::{FithMachine, FithResult};
 use com_mem::Word;
-use com_stc::{compile_com, compile_fith, CompileOptions};
+use com_stc::{compile_fith, CompileOptions};
 use com_trace::Trace;
+use com_vm::{Session, Vm, VmError};
 
 /// One benchmark program.
 #[derive(Debug, Clone, Copy)]
@@ -442,24 +443,48 @@ pub fn portable() -> Vec<Workload> {
     all().into_iter().filter(|w| !w.com_only).collect()
 }
 
-/// Compiles and runs a workload on the COM, asserting its self-check.
+/// Builds a [`Vm`] serving one workload's program — compile once, spawn
+/// as many tenant sessions as the experiment needs.
+///
+/// # Panics
+///
+/// Panics if the workload fails to compile (workloads are shipped code).
+pub fn vm_for(w: &Workload, config: MachineConfig, options: CompileOptions) -> Vm {
+    Vm::builder()
+        .source(w.source)
+        .config(config)
+        .options(options)
+        .build()
+        .unwrap_or_else(|e| panic!("workload {} failed to compile: {e}", w.name))
+}
+
+/// Runs a workload's entry send on an existing session.
 ///
 /// # Errors
 ///
-/// Propagates compile and machine errors; a wrong answer is reported as a
-/// [`MachineError::BadOperands`]-style semantic failure via panic in tests
-/// and benches (the result is returned for callers to inspect).
+/// Propagates machine traps (including budget exhaustion).
+pub fn run_on(w: &Workload, session: &mut Session, max_steps: u64) -> Result<RunResult, VmError> {
+    session.send_raw(w.entry, Word::Int(w.size), &[], max_steps)
+}
+
+/// Compiles and runs a workload on the COM through the embedding facade,
+/// returning the run and the session that performed it (statistics,
+/// spaces and caches stay inspectable).
+///
+/// # Errors
+///
+/// Propagates machine errors; the self-check answer is returned for
+/// callers to inspect.
+///
+/// # Panics
+///
+/// Panics if the workload fails to compile.
 pub fn run_com(
     w: &Workload,
     config: MachineConfig,
     max_steps: u64,
-) -> Result<(RunResult, Machine), MachineError> {
-    let image = compile_com(w.source, CompileOptions::default())
-        .unwrap_or_else(|e| panic!("workload {} failed to compile: {e}", w.name));
-    let mut m = Machine::new(config);
-    m.load(&image)?;
-    let out = m.send(w.entry, Word::Int(w.size), &[], max_steps)?;
-    Ok((out, m))
+) -> Result<(RunResult, Session), VmError> {
+    run_com_with_options(w, config, CompileOptions::default(), max_steps)
 }
 
 /// Compiles and runs a workload on the COM with non-default compile
@@ -468,18 +493,20 @@ pub fn run_com(
 /// # Errors
 ///
 /// As [`run_com`].
+///
+/// # Panics
+///
+/// As [`run_com`].
 pub fn run_com_with_options(
     w: &Workload,
     config: MachineConfig,
     options: CompileOptions,
     max_steps: u64,
-) -> Result<(RunResult, Machine), MachineError> {
-    let image = compile_com(w.source, options)
-        .unwrap_or_else(|e| panic!("workload {} failed to compile: {e}", w.name));
-    let mut m = Machine::new(config);
-    m.load(&image)?;
-    let out = m.send(w.entry, Word::Int(w.size), &[], max_steps)?;
-    Ok((out, m))
+) -> Result<(RunResult, Session), VmError> {
+    let vm = vm_for(w, config, options);
+    let mut session = vm.session()?;
+    let out = run_on(w, &mut session, max_steps)?;
+    Ok((out, session))
 }
 
 /// Compiles and runs a workload on the Fith stack machine.

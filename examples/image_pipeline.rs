@@ -11,9 +11,7 @@
 //! cargo run --example image_pipeline
 //! ```
 
-use com_machine::core::{Machine, MachineConfig};
-use com_machine::mem::Word;
-use com_machine::stc::{compile_com, CompileOptions};
+use com_machine::vm::Vm;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let source = r#"
@@ -46,14 +44,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         end
     "#;
 
-    let image = compile_com(source, CompileOptions::default())?;
-    let mut machine = Machine::new(MachineConfig::default());
-    machine.load(&image)?;
-    let out = machine.send("pipeline", Word::Int(48), &[], 50_000_000)?;
-    println!("distinct blurred intensities: {}", out.result);
+    let vm = Vm::new(source)?;
+    let mut session = vm.session()?;
+    session.set_step_limit(50_000_000);
+    let distinct: i64 = session.call("pipeline", 48i64)?;
+    println!("distinct blurred intensities: {distinct}");
 
     // Show the address-space story: segment sizes in use, growth traps.
-    let space = machine.space();
+    let space = session.space();
     println!(
         "\nabsolute space: {} words live across {} buddy blocks (peak {} words)",
         space.memory().buddy().allocated_words(),

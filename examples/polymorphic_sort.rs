@@ -11,9 +11,7 @@
 //! cargo run --example polymorphic_sort
 //! ```
 
-use com_machine::core::{Machine, MachineConfig};
-use com_machine::mem::Word;
-use com_machine::stc::{compile_com, CompileOptions};
+use com_machine::vm::Vm;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let source = r#"
@@ -55,7 +53,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         end
     "#;
 
-    let image = compile_com(source, CompileOptions::default())?;
+    // One compile serves every run below: each element type gets a fresh
+    // isolated session over the same shared image.
+    let vm = Vm::new(source)?;
 
     for (entry, what) in [
         ("sortInts", "300 integers"),
@@ -68,13 +68,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "300 Money objects (user-defined <, late bound)",
         ),
     ] {
-        let mut machine = Machine::new(MachineConfig::default());
-        machine.load(&image)?;
-        let out = machine.send(entry, Word::Int(300), &[], 10_000_000)?;
-        let itlb = machine.itlb_stats().expect("ITLB enabled");
+        let mut session = vm.session()?;
+        session.set_step_limit(10_000_000);
+        let result: i64 = session.call(entry, 300i64)?;
+        let out = session.last_run().expect("call completed").clone();
+        let itlb = session.itlb_stats().expect("ITLB enabled");
         println!(
             "{entry:10} — {what}\n            result {}, {} instructions, ITLB hit {:.2}%, {} full lookups",
-            out.result,
+            result,
             out.stats.instructions,
             itlb.hit_ratio().unwrap_or(0.0) * 100.0,
             out.stats.full_lookups,

@@ -1,12 +1,11 @@
-//! Quickstart: compile a method, run it on the COM, inspect the machine.
+//! Quickstart: compile a program once, serve typed calls from cheap
+//! tenant sessions, and slice a long call cooperatively.
 //!
 //! ```sh
 //! cargo run --example quickstart
 //! ```
 
-use com_machine::core::{Machine, MachineConfig};
-use com_machine::mem::Word;
-use com_machine::stc::{compile_com, CompileOptions};
+use com_machine::vm::{Outcome, Vm};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A method on SmallInteger: iterative factorial using the standard
@@ -21,15 +20,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         end
     "#;
 
-    let image = compile_com(source, CompileOptions::default())?;
-    let mut machine = Machine::new(MachineConfig::default());
-    machine.load(&image)?;
+    // Compile ONCE into a shared immutable image (classes, atoms,
+    // selectors, every method pre-decoded)...
+    let vm = Vm::new(source)?;
 
-    let out = machine.send("factorial", Word::Int(12), &[], 1_000_000)?;
-    println!("12 factorial = {}", out.result);
-    assert_eq!(out.result, Word::Int(479_001_600));
+    // ...then spawn a session: a private machine over the shared image.
+    // No recompiling, no redecoding — sessions are cheap and isolated.
+    let mut session = vm.session()?;
 
-    let s = out.stats;
+    // Typed calls: Rust values in, Rust values out.
+    let answer: i64 = session.call("factorial", 12)?;
+    println!("12 factorial = {answer}");
+    assert_eq!(answer, 479_001_600);
+
+    let run = session.last_run().expect("a call completed");
+    let s = run.stats;
     println!(
         "\nexecuted {} instructions in {} cycles (CPI {:.2})",
         s.instructions,
@@ -40,7 +45,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "method calls: {}, returns: {}, contexts allocated: {}, freed LIFO: {}",
         s.calls, s.returns, s.contexts_allocated, s.contexts_freed_lifo
     );
-    if let Some(itlb) = machine.itlb_stats() {
+    if let Some(itlb) = session.itlb_stats() {
         println!(
             "ITLB: {} lookups, {:.2}% hit — only {} full method lookups were ever needed",
             itlb.accesses(),
@@ -48,5 +53,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             s.full_lookups
         );
     }
+
+    // Resumable execution: a second tenant runs the same image in
+    // 25-instruction slices — budget exhaustion is a yield, not an error.
+    let mut tenant = vm.session()?;
+    tenant.call_start("factorial", 20)?;
+    let mut slices = 0u32;
+    let big = loop {
+        match tenant.resume::<i64>(25)? {
+            Outcome::Done(n) => break n,
+            Outcome::Yielded => slices += 1,
+        }
+    };
+    println!("\nsecond tenant computed 20 factorial = {big} across {slices} yields");
     Ok(())
 }

@@ -17,6 +17,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("--------------------------------------------------");
     let mut ratios = Vec::new();
     for w in workloads::portable() {
+        // `run_com` drives the COM through the `vm` facade: one compiled
+        // image, one tenant session per workload run.
         let (com, _) = workloads::run_com(&w, MachineConfig::default(), workloads::MAX_STEPS)?;
         let (fith, _) = workloads::run_fith(&w, workloads::MAX_STEPS)?;
         assert_eq!(com.result, fith.result, "{} must agree", w.name);

@@ -6,6 +6,23 @@
 //! This facade crate re-exports every subsystem; see `DESIGN.md` for the
 //! system inventory and `EXPERIMENTS.md` for paper-vs-measured results.
 //!
+//! The embedding API is the [`vm`] facade: compile once into a shared
+//! immutable image, then spawn any number of cheap, isolated tenant
+//! sessions with typed calls and resumable execution.
+//!
+//! ```
+//! use com_machine::vm::Vm;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let vm = Vm::new("class SmallInteger method double ^self + self end end")?;
+//! let mut session = vm.session()?;
+//! assert_eq!(session.call::<i64>("double", 21)?, 42);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! The engine layer stays available for instrument-everything work:
+//!
 //! ```
 //! use com_machine::stc::{compile_com, CompileOptions};
 //! use com_machine::core::{Machine, MachineConfig};
@@ -45,5 +62,8 @@ pub use com_obj as obj;
 pub use com_stc as stc;
 /// Instruction traces and cache replay (§5 methodology).
 pub use com_trace as trace;
+/// The embedding facade: shared images, multi-tenant sessions, typed
+/// calls, resumable execution, cooperative scheduling.
+pub use com_vm as vm;
 /// The benchmark workloads.
 pub use com_workloads as workloads;

@@ -202,3 +202,109 @@ fn object_allocation_stats_feed_t5() {
     );
     assert!(st.allocs_of(AllocKind::Context) > 0);
 }
+
+// ---------------------------------------------------------------------
+// Embedding facade (`vm`): shared images, tenant sessions, scheduling
+// ---------------------------------------------------------------------
+
+use com_machine::vm::{Scheduler, Vm};
+
+#[test]
+fn one_image_many_tenants_runs_every_workload() {
+    // Compile each workload once; its sessions share the image.
+    for w in workloads::all() {
+        let vm = workloads::vm_for(&w, MachineConfig::default(), CompileOptions::default());
+        assert_eq!(
+            vm.image().predecoded(),
+            vm.image().methods(),
+            "{}: every compiled method must pre-decode",
+            w.name
+        );
+        let mut a = vm.session().unwrap();
+        let mut b = vm.session().unwrap();
+        let ra = workloads::run_on(&w, &mut a, workloads::MAX_STEPS).unwrap();
+        let rb = workloads::run_on(&w, &mut b, workloads::MAX_STEPS).unwrap();
+        assert_eq!(ra.result, Word::Int(w.expected), "{} tenant a", w.name);
+        assert_eq!(rb.result, ra.result, "{} tenants disagree", w.name);
+        assert_eq!(rb.stats, ra.stats, "{} twin tenants diverged", w.name);
+    }
+}
+
+#[test]
+fn reentrant_session_calls_match_fresh_machine_and_keep_roots_flat() {
+    // Satellite: many sequential calls on ONE session must (a) keep
+    // CycleStats bit-identical to the same send sequence on a fresh
+    // engine-level machine driving the old API, and (b) never grow the
+    // GC root set.
+    let src = "class SmallInteger method tri ^self * (self + 1) / 2 end end";
+    let vm = Vm::new(src).unwrap();
+    let mut session = vm.session().unwrap();
+
+    let image = compile_com(src, CompileOptions::default()).unwrap();
+    let mut machine = Machine::new(MachineConfig::default());
+    machine.load(&image).unwrap();
+
+    let mut roots = None;
+    for i in 1..=40i64 {
+        let facade: i64 = session.call("tri", i).unwrap();
+        let engine = machine.send("tri", Word::Int(i), &[], 1_000_000).unwrap();
+        assert_eq!(Word::Int(facade), engine.result, "call {i}");
+        // Cumulative stats stay bit-identical send after send: the facade
+        // adds no architectural work.
+        assert_eq!(session.stats(), engine.stats, "call {i}: stats diverged");
+        let now = session.machine().code_root_count();
+        match roots {
+            None => roots = Some(now),
+            Some(r) => assert_eq!(now, r, "call {i}: GC roots grew"),
+        }
+    }
+}
+
+#[test]
+fn sixteen_tenants_round_robin_match_sequential_runs() {
+    // The acceptance scenario in miniature: 16 sessions over shared
+    // images, interleaved in 5000-step slices, must finish with results
+    // and CycleStats identical to sequential execution.
+    let picks = [
+        workloads::CALLS,
+        workloads::ARITH,
+        workloads::DISPATCH,
+        workloads::SORT,
+    ];
+    let vms: Vec<Vm> = picks
+        .iter()
+        .map(|w| workloads::vm_for(w, MachineConfig::default(), CompileOptions::default()))
+        .collect();
+
+    // Sequential baselines: one fresh session each, run to completion.
+    let mut baselines = Vec::new();
+    for i in 0..16 {
+        let w = &picks[i % picks.len()];
+        let mut s = vms[i % picks.len()].session().unwrap();
+        let out = workloads::run_on(w, &mut s, workloads::MAX_STEPS).unwrap();
+        assert_eq!(out.result, Word::Int(w.expected), "{} baseline", w.name);
+        baselines.push(out);
+    }
+
+    // The same 16 tenants, interleaved.
+    let mut sched = Scheduler::new(5_000);
+    let mut ids = Vec::new();
+    for i in 0..16 {
+        let w = &picks[i % picks.len()];
+        let mut s = vms[i % picks.len()].session().unwrap();
+        s.call_start_with(w.entry, Word::Int(w.size), &[]).unwrap();
+        ids.push(sched.spawn(s).unwrap());
+    }
+    sched.run();
+    assert!(sched.rounds() > 1, "16 workloads must take several rounds");
+    for (i, id) in ids.iter().enumerate() {
+        let run = sched
+            .session(*id)
+            .unwrap()
+            .last_run()
+            .expect("task finished")
+            .clone();
+        assert_eq!(run.result, baselines[i].result, "tenant {i} result");
+        assert_eq!(run.stats, baselines[i].stats, "tenant {i} stats");
+    }
+}
