@@ -6,6 +6,7 @@
 
 pub mod gc;
 pub mod interp;
+pub mod parallel;
 pub mod sessions;
 
 use com_trace::Trace;

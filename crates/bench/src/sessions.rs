@@ -199,9 +199,8 @@ pub fn measure_roundrobin(sessions: usize) -> Result<(Vec<TenantRow>, u64), VmEr
     let mut sched = Scheduler::new(SLICE_STEPS);
     let mut ids = Vec::new();
     for i in 0..sessions {
-        let w = tenant_w(i);
         let mut s = tenant_vm(i).session()?;
-        s.call_start_with(w.entry, Word::Int(w.size), &[])?;
+        workloads::start_on(tenant_w(i), &mut s)?;
         ids.push(sched.spawn(s)?);
     }
     sched.run();

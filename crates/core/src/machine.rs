@@ -34,7 +34,6 @@
 
 use std::collections::{HashMap, HashSet};
 
-use std::rc::Rc;
 use std::sync::Arc;
 
 use com_cache::{AddrSet, CacheStats, FxBuildHasher, SetAssocCache};
@@ -400,7 +399,7 @@ pub struct Machine {
     icache: Option<Icache>,
     cc: Option<ContextCache>,
     /// Decoded-method slab: a resident-method hit is one array index.
-    decoded: Vec<Rc<Decoded>>,
+    decoded: Vec<Arc<Decoded>>,
     /// Cold-path index (code virtual base → slab slot), consulted only
     /// when a dictionary entry has not been resolved to a slab slot yet
     /// (and on shadow-miss returns, to re-enter the caller's method).
@@ -431,7 +430,7 @@ pub struct Machine {
     /// Slab slot of the method `ip` currently points into.
     cur_slab: u32,
     /// Current method: base capability, absolute base, program counter.
-    ip: Option<(Fpa, AbsAddr, Rc<Decoded>)>,
+    ip: Option<(Fpa, AbsAddr, Arc<Decoded>)>,
     /// Bumped on every control transfer (call/return/xfer/entry). The
     /// threaded loop snapshots this to know when its borrowed decoded
     /// method is stale and must be re-fetched.
@@ -636,7 +635,7 @@ impl Machine {
             &mut self.code_roots,
             |base, abs, body| {
                 let id = u32::try_from(decoded.len()).expect("slab outgrew u32");
-                decoded.push(Rc::new(Decoded { base, abs, body }));
+                decoded.push(Arc::new(Decoded { base, abs, body }));
                 decoded_index.insert(base.raw(), id);
                 id
             },
@@ -659,7 +658,7 @@ impl Machine {
             .slab
             .iter()
             .map(|(base, abs, body)| {
-                Rc::new(Decoded {
+                Arc::new(Decoded {
                     base: *base,
                     abs: *abs,
                     body: Arc::clone(body),
@@ -1136,7 +1135,7 @@ impl Machine {
         if let Some(&id) = self.decoded_index.get(&base.raw()) {
             return Ok(id);
         }
-        let d = Rc::new(self.decode_from_memory(code)?);
+        let d = Arc::new(self.decode_from_memory(code)?);
         let id = u32::try_from(self.decoded.len()).expect("slab outgrew u32");
         self.decoded.push(d);
         self.decoded_index.insert(base.raw(), id);
@@ -1204,7 +1203,7 @@ impl Machine {
     /// would record on both the overhauled and reference residency paths.
     fn install_entry(&mut self, code: Fpa) -> Result<u32, MachineError> {
         let base = code.base();
-        let d = Rc::new(self.decode_from_memory(code)?);
+        let d = Arc::new(self.decode_from_memory(code)?);
         let abs = d.abs;
         let id = match self.entry_slab {
             Some(slot) => {
@@ -1254,9 +1253,9 @@ impl Machine {
 
     /// The decoded method at slab slot `id`.
     #[inline]
-    fn slab_entry(&self, id: u32) -> (Fpa, AbsAddr, Rc<Decoded>) {
+    fn slab_entry(&self, id: u32) -> (Fpa, AbsAddr, Arc<Decoded>) {
         let d = &self.decoded[id as usize];
-        (d.base, d.abs, Rc::clone(d))
+        (d.base, d.abs, Arc::clone(d))
     }
 
     /// The slab slot for `code`, through the configured residency path:
@@ -1281,7 +1280,7 @@ impl Machine {
     /// Installs a new current method, invalidating the threaded loop's
     /// borrowed decode.
     #[inline]
-    fn set_ip(&mut self, f: Fpa, a: AbsAddr, d: Rc<Decoded>) {
+    fn set_ip(&mut self, f: Fpa, a: AbsAddr, d: Arc<Decoded>) {
         self.ip = Some((f, a, d));
         self.ip_gen = self.ip_gen.wrapping_add(1);
     }
@@ -1371,7 +1370,7 @@ impl Machine {
             return Err(MachineError::Halted(w));
         }
         let (method_fpa, method_abs, decoded) = match &self.ip {
-            Some((f, a, d)) => (*f, *a, Rc::clone(d)),
+            Some((f, a, d)) => (*f, *a, Arc::clone(d)),
             None => return Err(MachineError::NoContext),
         };
         if self.pc >= decoded.body.low.len() as u64 {
@@ -2305,7 +2304,7 @@ impl Machine {
                 }));
             }
             let (method_fpa, method_abs, dec) = match &self.ip {
-                Some((f, a, d)) => (*f, *a, Rc::clone(d)),
+                Some((f, a, d)) => (*f, *a, Arc::clone(d)),
                 None => return Err(MachineError::NoContext),
             };
             let gen = self.ip_gen;
@@ -2553,6 +2552,19 @@ fn is_pure_data(p: PrimOp) -> bool {
 mod tests {
     use super::*;
     use com_isa::Assembler;
+
+    /// The engine's concurrency contract: a machine owns all of its
+    /// mutable state (the decoded slab shares only immutable
+    /// [`DecodedBody`]s behind `Arc`), so it may be moved across threads.
+    /// Compile-time: regressing to a non-`Send` handle type (`Rc`, raw
+    /// pointers) fails this test at build, not at runtime.
+    #[test]
+    fn machine_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<Machine>();
+        assert_send::<RunResult>();
+        assert_send::<MachineError>();
+    }
 
     fn image_with(
         class: ClassId,

@@ -1,7 +1,7 @@
 //! The Fith Machine interpreter with tracing.
 
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use com_cache::{CacheConfig, CacheStats, SetAssocCache};
 use com_core::data_op;
@@ -87,7 +87,7 @@ pub struct FithResult {
 /// One activation frame.
 #[derive(Debug)]
 struct Frame {
-    method: Rc<FithMethod>,
+    method: Arc<FithMethod>,
     method_idx: usize,
     pc: usize,
     locals: Vec<(Word, ClassId)>,
@@ -105,7 +105,7 @@ pub struct FithMachine {
     classes: ClassTable,
     /// Defined-method dictionaries: class → selector → method index.
     dicts: HashMap<ClassId, HashMap<Opcode, usize>>,
-    methods: Vec<Rc<FithMethod>>,
+    methods: Vec<Arc<FithMethod>>,
     itlb: Option<SetAssocCache<(Opcode, ClassId), FithMethodRef>>,
     lookup_cost: LookupCost,
     stack: Vec<(Word, ClassId)>,
@@ -141,7 +141,7 @@ impl FithMachine {
         };
         for (class, sel, method) in &image.methods {
             let idx = m.methods.len();
-            m.methods.push(Rc::new(method.clone()));
+            m.methods.push(Arc::new(method.clone()));
             m.dicts.entry(*class).or_default().insert(*sel, idx);
         }
         m
@@ -289,7 +289,7 @@ impl FithMachine {
             FithMethodRef::Primitive(p) => self.exec_primitive(op, p, nargs),
             FithMethodRef::Defined(idx) => {
                 self.stats.calls += 1;
-                let method = Rc::clone(&self.methods[idx]);
+                let method = Arc::clone(&self.methods[idx]);
                 let mut locals = vec![(Word::Uninit, ClassId::UNINIT); method.n_locals as usize];
                 // Pop arguments (reverse order), then the receiver.
                 for i in (0..nargs as usize).rev() {
@@ -503,6 +503,14 @@ impl FithMachine {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Same concurrency contract as the COM engine: method bodies are
+    /// shared behind `Arc`, so a stack machine may move across threads.
+    #[test]
+    fn fith_machine_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<FithMachine>();
+    }
 
     /// SmallInteger>>sumto compiled by hand for the stack machine.
     fn sumto_image() -> FithImage {

@@ -38,6 +38,16 @@ pub enum VmError {
     /// [`call_start`](crate::Session::call_start) (or a one-shot call) was
     /// issued while an earlier resumable call was still in flight.
     CallInProgress,
+    /// A resumable call yielded without retiring a single instruction, so
+    /// driving it further could never finish it — a zero-instruction
+    /// slice, or a wedged machine. The [`Scheduler`](crate::Scheduler)
+    /// and [`ParallelExecutor`](crate::ParallelExecutor) report this
+    /// instead of spinning forever.
+    Stalled {
+        /// The per-resume instruction budget in force when progress
+        /// stopped.
+        slice: u64,
+    },
 }
 
 impl From<CompileError> for VmError {
@@ -75,6 +85,12 @@ impl core::fmt::Display for VmError {
             VmError::NoCallInProgress => write!(f, "resume with no call in progress"),
             VmError::CallInProgress => {
                 write!(f, "a resumable call is already in progress on this session")
+            }
+            VmError::Stalled { slice } => {
+                write!(
+                    f,
+                    "call stalled: a {slice}-instruction slice retired nothing and can never finish"
+                )
             }
         }
     }

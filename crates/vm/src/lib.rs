@@ -19,6 +19,31 @@
 //!   out, instead of abusing a step-limit error — and the cooperative
 //!   [`Scheduler`] round-robins any number of in-flight sessions with
 //!   per-tenant results and statistics bit-identical to solo runs.
+//! * Execution is **parallel**: the whole engine layer is `Send`, and
+//!   the [`ParallelExecutor`] drains any number of in-flight sessions
+//!   across a fixed pool of worker threads — same yield cadence, same
+//!   bit-identical per-tenant results and statistics, N tenants on M
+//!   cores.
+//!
+//! # Thread safety
+//!
+//! The exact contract, compile-time asserted in this crate's tests:
+//!
+//! * [`Vm`]`: Send + Sync` — one `Vm` (and its shared
+//!   [`Arc<LoadedImage>`]) may be cloned and used from any number of
+//!   threads at once.
+//! * [`Session`]`: Send` but **not** `Sync` — a session may be *moved*
+//!   between threads freely (start a call on one thread, resume it on
+//!   another; results and [`CycleStats`] are unaffected), but may only
+//!   be driven by one thread at a time. This is `&mut`-style exclusive
+//!   ownership, enforced by the type system — no locks, no atomics on
+//!   the hot path. Sharing a `&Session` across threads does not
+//!   compile:
+//!
+//! ```compile_fail,E0277
+//! fn assert_sync<T: Sync>() {}
+//! assert_sync::<com_vm::Session>(); // Session is !Sync by design
+//! ```
 //!
 //! ```
 //! use com_vm::{Outcome, Vm};
@@ -54,11 +79,13 @@
 
 mod convert;
 mod error;
+mod pool;
 mod sched;
 mod session;
 
 pub use convert::{FromWord, ToWord};
 pub use error::VmError;
+pub use pool::{ParallelExecutor, TenantRun};
 pub use sched::{Scheduler, TaskId};
 pub use session::{Outcome, Session};
 
@@ -142,9 +169,12 @@ impl VmBuilder {
 /// A compiled program ready to serve tenants: one shared, immutable
 /// [`LoadedImage`] plus the [`MachineConfig`] sessions boot with.
 ///
-/// `Vm` is cheap to clone (the image is behind an [`Arc`]) and the image
-/// is `Send + Sync`, so sessions may be spawned and driven from any
-/// thread.
+/// `Vm` is cheap to clone (the image is behind an [`Arc`]) and is
+/// `Send + Sync`; `Session` is `Send`, so sessions really may be
+/// spawned and driven from any thread — including started on one and
+/// resumed on another (see the [crate docs](crate#thread-safety) for
+/// the full contract, and [`ParallelExecutor`] for the batteries-
+/// included worker pool).
 #[derive(Debug, Clone)]
 pub struct Vm {
     image: Arc<LoadedImage>,

@@ -1,0 +1,366 @@
+//! A parallel worker-pool executor: drain any number of in-flight
+//! sessions across a fixed set of OS threads.
+//!
+//! The pool exists because sessions are **architecturally isolated**:
+//! each owns its object space, context cache and statistics, and shares
+//! only the immutable pre-decoded image. A tenant's [`CycleStats`]
+//! therefore depend solely on its own instruction stream — never on
+//! which worker ran a slice, in what order slices interleaved, or how a
+//! yielded session migrated between threads. That is what lets the
+//! executor promise *bit-identical* results and statistics to solo (or
+//! single-threaded [`Scheduler`](crate::Scheduler)) execution while
+//! using every core: parallelism costs nothing in fidelity.
+//!
+//! Shape: one shared **injector deque** seeds the run; each worker
+//! drains its **local deque** front-to-back (preserving round-robin
+//! fairness among the tenants it holds), pushes tenants that yield back
+//! onto its own tail, and — when it runs dry — pulls from the injector
+//! or **steals** from the tail of another worker's deque. Finished
+//! tenants flow back to the caller over a channel. All of it is plain
+//! `std` (`Mutex`/`Condvar`/`mpsc`, `thread::scope`); there is no
+//! dependency to vendor and no unsafe code.
+//!
+//! [`CycleStats`]: com_core::CycleStats
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Condvar, Mutex};
+use std::time::Duration;
+
+use com_mem::Word;
+
+use crate::{FromWord, Outcome, Session, VmError};
+
+/// One tenant drained by [`ParallelExecutor::run`], returned in spawn
+/// order.
+#[derive(Debug)]
+pub struct TenantRun {
+    /// The session, back from the pool (inspect
+    /// [`last_run`](Session::last_run), statistics, or keep calling it).
+    pub session: Session,
+    /// The raw result word, if the call completed.
+    pub result: Option<Word>,
+    /// The error that ended the call, if it trapped (or stalled).
+    pub error: Option<VmError>,
+    /// Resume slices the tenant consumed.
+    pub slices: u64,
+    /// Times the tenant resumed on a different worker than its previous
+    /// slice — direct evidence of cross-thread session movement.
+    pub migrations: u64,
+}
+
+impl TenantRun {
+    /// The completed result, converted.
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::Type`] if the result does not convert.
+    pub fn result_as<R: FromWord>(&self) -> Result<Option<R>, VmError> {
+        match self.result {
+            Some(w) => Ok(Some(R::from_word(w)?)),
+            None => Ok(None),
+        }
+    }
+}
+
+/// A task in flight through the pool.
+struct Task {
+    index: usize,
+    session: Session,
+    slices: u64,
+    migrations: u64,
+    last_worker: Option<usize>,
+}
+
+/// A task that left the pool: completed, trapped, or stalled.
+struct Finished {
+    task: Task,
+    result: Option<Word>,
+    error: Option<VmError>,
+}
+
+/// State shared by every worker for one [`ParallelExecutor::run`].
+struct Shared {
+    /// Seed queue: tasks not yet claimed by any worker.
+    injector: Mutex<VecDeque<Task>>,
+    /// Per-worker deques: the owner pops the front and pushes yields on
+    /// the back; thieves steal from the back.
+    locals: Vec<Mutex<VecDeque<Task>>>,
+    /// Parking lot for workers that found no runnable task.
+    idle: Mutex<()>,
+    wake: Condvar,
+    /// Tasks still inside the pool; 0 tells every worker to exit.
+    remaining: AtomicUsize,
+    /// Successful steals (observability; surfaced by the bench).
+    steals: AtomicU64,
+}
+
+/// A fixed pool of worker threads that drains in-flight resumable
+/// sessions, preserving the cooperative [`Session::resume`] yield
+/// cadence — so every tenant finishes with a result and `CycleStats`
+/// bit-identical to running alone (asserted by the `bench_parallel`
+/// pipeline and this module's tests).
+///
+/// ```
+/// # fn main() -> Result<(), com_vm::VmError> {
+/// let vm = com_vm::Vm::new(
+///     "class SmallInteger method tri ^self * (self + 1) / 2 end end",
+/// )?;
+/// let mut tenants = Vec::new();
+/// for n in [10i64, 100, 1000, 10000] {
+///     let mut s = vm.session()?;
+///     s.call_start("tri", n)?;
+///     tenants.push(s);
+/// }
+/// let pool = com_vm::ParallelExecutor::new(4, 500);
+/// let runs = pool.run(tenants);
+/// assert_eq!(runs[3].result_as::<i64>()?, Some(50_005_000));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct ParallelExecutor {
+    workers: usize,
+    slice: u64,
+}
+
+impl ParallelExecutor {
+    /// A pool of `workers` threads granting `slice` instructions per
+    /// resume. A zero `slice` cannot make progress; rather than spin,
+    /// [`run`](Self::run) reports every tenant as [`VmError::Stalled`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero (nothing could ever run).
+    pub fn new(workers: usize, slice: u64) -> ParallelExecutor {
+        assert!(workers > 0, "a pool needs at least one worker");
+        ParallelExecutor { workers, slice }
+    }
+
+    /// A pool sized to the host: one worker per available core.
+    pub fn host_sized(slice: u64) -> ParallelExecutor {
+        let workers = std::thread::available_parallelism().map_or(1, |n| n.get());
+        ParallelExecutor::new(workers, slice)
+    }
+
+    /// Worker threads in the pool.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Instructions granted per resume slice.
+    pub fn slice(&self) -> u64 {
+        self.slice
+    }
+
+    /// Drains every session to completion (or trap) across the pool and
+    /// returns them in spawn order. Sessions should have a resumable
+    /// call in flight (see [`Session::call_start`]); one that does not
+    /// comes straight back with [`VmError::NoCallInProgress`] as its
+    /// [`TenantRun::error`]. Per-tenant conditions — traps, stalls, an
+    /// idle session — are recorded per tenant, exactly like the
+    /// single-threaded scheduler: one tenant's failure never disturbs
+    /// another, and **no session is ever lost** — every one comes back
+    /// in the returned runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread panics (a machine invariant violation,
+    /// not a program trap — traps are per-tenant errors).
+    pub fn run(&self, sessions: Vec<Session>) -> Vec<TenantRun> {
+        self.run_counting_steals(sessions).0
+    }
+
+    /// [`run`](Self::run), also returning the total successful steals —
+    /// tests and the bench use it to show the stealing path is real.
+    ///
+    /// # Panics
+    ///
+    /// As [`run`](Self::run).
+    pub fn run_counting_steals(&self, sessions: Vec<Session>) -> (Vec<TenantRun>, u64) {
+        let total = sessions.len();
+        if total == 0 {
+            return (Vec::new(), 0);
+        }
+        let mut out: Vec<Option<TenantRun>> = (0..total).map(|_| None).collect();
+        let mut runnable: VecDeque<Task> = VecDeque::new();
+        for (index, session) in sessions.into_iter().enumerate() {
+            if session.in_flight() {
+                runnable.push_back(Task {
+                    index,
+                    session,
+                    slices: 0,
+                    migrations: 0,
+                    last_worker: None,
+                });
+            } else {
+                // Nothing to resume: hand the session straight back with
+                // a per-tenant error instead of failing (and dropping)
+                // the whole batch.
+                out[index] = Some(TenantRun {
+                    session,
+                    result: None,
+                    error: Some(VmError::NoCallInProgress),
+                    slices: 0,
+                    migrations: 0,
+                });
+            }
+        }
+        if runnable.is_empty() {
+            return (
+                out.into_iter()
+                    .map(|t| t.expect("all tenants were idle"))
+                    .collect(),
+                0,
+            );
+        }
+        let in_pool = runnable.len();
+        let shared = Shared {
+            injector: Mutex::new(runnable),
+            locals: (0..self.workers)
+                .map(|_| Mutex::new(VecDeque::new()))
+                .collect(),
+            idle: Mutex::new(()),
+            wake: Condvar::new(),
+            remaining: AtomicUsize::new(in_pool),
+            steals: AtomicU64::new(0),
+        };
+        let (tx, rx) = mpsc::channel::<Finished>();
+        std::thread::scope(|scope| {
+            for w in 0..self.workers {
+                let shared = &shared;
+                let tx = tx.clone();
+                let slice = self.slice;
+                scope.spawn(move || worker_loop(w, slice, shared, &tx));
+            }
+            drop(tx);
+            // Every task leaves the pool exactly once; when the last
+            // worker exits, the channel closes and this loop ends.
+            for fin in rx {
+                let slot = &mut out[fin.task.index];
+                *slot = Some(TenantRun {
+                    session: fin.task.session,
+                    result: fin.result,
+                    error: fin.error,
+                    slices: fin.task.slices,
+                    migrations: fin.task.migrations,
+                });
+            }
+        });
+        (
+            out.into_iter()
+                .map(|t| t.expect("every spawned tenant leaves the pool"))
+                .collect(),
+            shared.steals.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// One worker: claim a task (own deque, then injector, then steal), give
+/// it one slice, route it back into the pool or out through the channel.
+fn worker_loop(w: usize, slice: u64, shared: &Shared, tx: &mpsc::Sender<Finished>) {
+    loop {
+        if shared.remaining.load(Ordering::Acquire) == 0 {
+            return;
+        }
+        let Some(mut task) = claim(w, shared) else {
+            // Nothing runnable. Park briefly: a yield push or the drain
+            // finishing notifies; the timeout bounds any lost wakeup.
+            let guard = shared.idle.lock().expect("idle lock");
+            if shared.remaining.load(Ordering::Acquire) == 0 {
+                return;
+            }
+            drop(
+                shared
+                    .wake
+                    .wait_timeout(guard, Duration::from_micros(200))
+                    .expect("idle wait"),
+            );
+            continue;
+        };
+        if task.last_worker.is_some_and(|prev| prev != w) {
+            task.migrations += 1;
+        }
+        task.last_worker = Some(w);
+        task.slices += 1;
+        match task.session.resume_raw_guarded(slice) {
+            Ok(Outcome::Yielded) => {
+                shared.locals[w]
+                    .lock()
+                    .expect("local deque lock")
+                    .push_back(task);
+                shared.wake.notify_one();
+            }
+            Ok(Outcome::Done(word)) => finish(
+                shared,
+                tx,
+                Finished {
+                    task,
+                    result: Some(word),
+                    error: None,
+                },
+            ),
+            // Includes Stalled: a yield that retired nothing (zero
+            // slice, or a wedged machine) would requeue forever.
+            Err(e) => finish(
+                shared,
+                tx,
+                Finished {
+                    task,
+                    result: None,
+                    error: Some(e),
+                },
+            ),
+        }
+    }
+}
+
+/// Claim the next runnable task for worker `w`: own deque front, then
+/// the injector, then steal from the back of the busiest sibling.
+fn claim(w: usize, shared: &Shared) -> Option<Task> {
+    if let Some(t) = shared.locals[w]
+        .lock()
+        .expect("local deque lock")
+        .pop_front()
+    {
+        return Some(t);
+    }
+    if let Some(t) = shared.injector.lock().expect("injector lock").pop_front() {
+        return Some(t);
+    }
+    // Steal from the sibling with the most queued work, from the back.
+    // Taking a victim's only queued task is safe: a task is never in a
+    // deque while it runs, and an owner that finds its deque empty falls
+    // back to the injector or steals in turn — nothing is ever lost.
+    let n = shared.locals.len();
+    let mut victim: Option<(usize, usize)> = None;
+    for v in 0..n {
+        if v == w {
+            continue;
+        }
+        let len = shared.locals[v].lock().expect("sibling deque lock").len();
+        if len > 0 && victim.is_none_or(|(_, best)| len > best) {
+            victim = Some((v, len));
+        }
+    }
+    let (v, _) = victim?;
+    let stolen = shared.locals[v]
+        .lock()
+        .expect("victim deque lock")
+        .pop_back();
+    if stolen.is_some() {
+        shared.steals.fetch_add(1, Ordering::Relaxed);
+    }
+    stolen
+}
+
+/// Route a task out of the pool; the last one wakes every parked worker
+/// so the pool can exit.
+fn finish(shared: &Shared, tx: &mpsc::Sender<Finished>, fin: Finished) {
+    // The receiver outlives every worker (it drains until all senders
+    // drop), so the send cannot fail while a worker runs.
+    tx.send(fin).expect("result channel open");
+    if shared.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+        shared.wake.notify_all();
+    }
+}

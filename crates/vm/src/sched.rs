@@ -53,11 +53,11 @@ pub struct Scheduler {
 impl Scheduler {
     /// A scheduler granting each task `slice` instructions per round.
     ///
-    /// # Panics
-    ///
-    /// Panics if `slice` is zero (no task could ever progress).
+    /// A zero slice can never make progress; rather than spin, a
+    /// [`run`](Self::run) over it reports every unfinished task as
+    /// [`VmError::Stalled`] (the progress check catches any other
+    /// zero-progress state the same way).
     pub fn new(slice: u64) -> Scheduler {
-        assert!(slice > 0, "a zero slice starves every task");
         Scheduler {
             slice,
             tasks: Vec::new(),
@@ -97,9 +97,11 @@ impl Scheduler {
                 continue;
             }
             task.slices += 1;
-            match task.session.resume_raw(slice) {
+            match task.session.resume_raw_guarded(slice) {
                 Ok(Outcome::Done(w)) => task.result = Some(w),
                 Ok(Outcome::Yielded) => all_done = false,
+                // Includes Stalled: a yield that retired nothing can
+                // never finish, and rescheduling it would spin forever.
                 Err(e) => task.error = Some(e),
             }
         }
@@ -107,7 +109,10 @@ impl Scheduler {
         all_done
     }
 
-    /// Round-robins until every task finishes (or traps).
+    /// Round-robins until every task finishes, traps, or stalls (a task
+    /// that yields without retiring an instruction is reported as
+    /// [`VmError::Stalled`] via [`error`](Self::error) instead of being
+    /// rescheduled forever).
     pub fn run(&mut self) {
         while !self.tick() {}
     }
