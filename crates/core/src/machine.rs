@@ -44,7 +44,10 @@ use com_mem::{
     gc::{GcKind, GcStats},
     AbsAddr, AllocKind, ClassId, MemError, ObjectSpace, TeamId, Word,
 };
-use com_obj::{lookup_method, AtomTable, ClassTable, DefinedMethod, Itlb, ItlbKey, MethodRef};
+use com_obj::{
+    lookup_method, lookup_trap_handler, AtomTable, ClassTable, DefinedMethod, Itlb, ItlbKey,
+    MethodRef, TrapSelector,
+};
 
 use crate::{
     ContextCache, CtxCacheStats, CycleStats, MachineConfig, MachineError, ProgramImage,
@@ -258,6 +261,14 @@ impl Icache {
         match self {
             Icache::Fast(c) => c.reset_stats(),
             Icache::Reference(c) => c.reset_stats(),
+        }
+    }
+
+    /// Drops all contents (statistics are kept).
+    fn clear(&mut self) {
+        match self {
+            Icache::Fast(c) => c.clear(),
+            Icache::Reference(c) => c.clear(),
         }
     }
 }
@@ -1431,13 +1442,14 @@ impl Machine {
             }
         };
 
-        // Step 3: translate through the ITLB (or pay full lookup).
-        let method = self.resolve(key)?;
-
-        // Steps 4-5: perform the operation / method call, store results.
-        match method {
-            MethodRef::Primitive(p) => self.exec_primitive(instr, p, b, c)?,
-            MethodRef::Defined(d) => self.do_call(instr, d, b, c)?,
+        // Step 3: translate through the ITLB (or pay full lookup), then
+        // steps 4-5: perform the operation / method call, store results.
+        // A failed translation is offered to software trap dispatch
+        // before it is allowed to kill the send.
+        match self.resolve(key) {
+            Ok(MethodRef::Primitive(p)) => self.exec_primitive(instr, p, b, c)?,
+            Ok(MethodRef::Defined(d)) => self.do_call(instr, d, b, c)?,
+            Err(e) => self.trap_dispatch(instr, b, c, e)?,
         }
 
         if let Some(kind) = self.gc_due(self.steps) {
@@ -1616,9 +1628,14 @@ impl Machine {
                 let class = self.class_of_word(&v)?;
                 self.write_result(instr, v, class)
             }
-            // Pure data operations.
+            // Pure data operations. A function-unit operand trap is
+            // offered to software trap dispatch (an installed
+            // `badOperands:` handler) before it kills the send.
             other => {
-                let v = crate::exec::data_op(other, opcode, b.0, c.0)?;
+                let v = match crate::exec::data_op(other, opcode, b.0, c.0) {
+                    Ok(v) => v,
+                    Err(e) => return self.trap_dispatch(instr, b, c, e),
+                };
                 let class = self.class_of_word(&v)?;
                 self.write_result(instr, v, class)
             }
@@ -1689,6 +1706,31 @@ impl Machine {
         b: (Word, ClassId),
         c: (Word, ClassId),
     ) -> Result<(), MachineError> {
+        self.do_call_impl(instr, d, b, c, false)
+    }
+
+    /// Calls a software trap handler in place of the faulting instruction:
+    /// like [`do_call`](Self::do_call), but the argument register (arg2 of
+    /// the handler's context) carries the reified trap message instead of
+    /// the faulting instruction's C operand.
+    fn do_call_reified(
+        &mut self,
+        instr: Instr,
+        d: DefinedMethod,
+        b: (Word, ClassId),
+        msg: (Word, ClassId),
+    ) -> Result<(), MachineError> {
+        self.do_call_impl(instr, d, b, msg, true)
+    }
+
+    fn do_call_impl(
+        &mut self,
+        instr: Instr,
+        d: DefinedMethod,
+        b: (Word, ClassId),
+        c: (Word, ClassId),
+        reified: bool,
+    ) -> Result<(), MachineError> {
         // Operand copy (automatic argument transmission, §3.5): arg0 is the
         // effective address of A, arg1 = B, arg2 = C. The B and C values
         // were already fetched for dispatch; the hardware copies them from
@@ -1709,8 +1751,10 @@ impl Machine {
                     Word::Ptr(r.fpa.with_offset(o as u64 + OPERAND_BIAS)?)
                 };
                 // The pre-overhaul call sequence re-read both source
-                // operands here; the baseline keeps that cost.
-                let (b, c) = if self.reference {
+                // operands here; the baseline keeps that cost. A reified
+                // handler call must not re-read: its argument register is
+                // the trap message, not the faulting C operand.
+                let (b, c) = if self.reference && !reified {
                     if let Instr::Three { b: bo, c: co, .. } = instr {
                         (self.fetch_operand(bo)?, self.fetch_operand(co)?)
                     } else {
@@ -1736,7 +1780,17 @@ impl Machine {
                 }
                 3
             }
-            Instr::Zero { .. } => 0, // programmer placed arguments already
+            // Programmer placed arguments already — except for a reified
+            // handler call, whose trap message replaces the argument
+            // register (one operand copied into the handler's context).
+            Instr::Zero { .. } => {
+                if reified {
+                    self.ctx_write_raw(true, CTX_ARG1 + 1, c.0, c.1)?;
+                    1
+                } else {
+                    0
+                }
+            }
         };
         self.stats.calls += 1;
         // One cycle to flush the prefetched instruction, one for the
@@ -1790,6 +1844,122 @@ impl Machine {
         self.pc = 0;
         self.last_dest = None;
         Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Software trap dispatch
+    // ------------------------------------------------------------------
+
+    /// Software trap dispatch — the paper's §2.1 position that type
+    /// errors "are handled in software via message dispatch" rather than
+    /// killing the program. When a send fails to resolve
+    /// ([`MachineError::DoesNotUnderstand`]) or a function unit refuses
+    /// its operands ([`MachineError::BadOperands`]), and the receiver's
+    /// class chain installs the matching [`TrapSelector`] handler method
+    /// (`doesNotUnderstand:` / `badOperands:`), the faulting operation is
+    /// reified into a message object and the handler is called in its
+    /// place: the handler's answer lands where the faulting operation's
+    /// result would have gone (its arg0 is the faulting instruction's
+    /// result pointer) and execution continues at the next instruction.
+    ///
+    /// Shared verbatim by [`step`](Self::step) and the threaded
+    /// [`run`](Self::run) loop, so dispatch behaviour and every charged
+    /// cycle are bit-identical between the two.
+    ///
+    /// The original trap propagates unchanged when:
+    /// * the trap is any other kind (machine-integrity conditions);
+    /// * the faulting instruction has the return bit set (its
+    ///   continuation — store *and* return — is not representable as a
+    ///   handler continuation);
+    /// * the handler selector was never interned, or no class on the
+    ///   receiver's chain defines it (the chain walk, when it happens, is
+    ///   charged like any full lookup);
+    /// * the handler resolves to a primitive (cannot accept a message).
+    fn trap_dispatch(
+        &mut self,
+        instr: Instr,
+        b: (Word, ClassId),
+        c: (Word, ClassId),
+        e: MachineError,
+    ) -> Result<(), MachineError> {
+        let kind = match &e {
+            MachineError::DoesNotUnderstand { .. } => TrapSelector::DoesNotUnderstand,
+            MachineError::BadOperands { .. } => TrapSelector::BadOperands,
+            _ => return Err(e),
+        };
+        if instr.returns() {
+            return Err(e);
+        }
+        let Some(handler_sel) = self.opcodes.get(kind.name()) else {
+            return Err(e);
+        };
+        let (handler, out) = lookup_trap_handler(&self.classes, b.1, handler_sel);
+        self.stats.full_lookups += 1;
+        self.stats.lookup_cycles += out.cost_cycles(self.config.lookup_cost);
+        if out.cycle {
+            return Err(MachineError::ClassChainCycle {
+                opcode: handler_sel,
+                class: b.1,
+            });
+        }
+        let Some(handler) = handler else {
+            return Err(e);
+        };
+        let nargs = match instr {
+            Instr::Three { .. } => 2u8,
+            Instr::Zero { nargs, .. } => nargs,
+        };
+        let msg = self.reify_message(instr.opcode(), nargs, c)?;
+        self.stats.soft_traps += 1;
+        self.do_call_reified(instr, handler, b, msg)
+    }
+
+    /// Reifies a faulting operation into a three-word message object —
+    /// `[selector opcode, nargs, argument]` — for a software trap
+    /// handler. Charged as one memory operation (like `new`).
+    ///
+    /// The message records what the *instruction* transmitted, which is
+    /// all this layer can see:
+    ///
+    /// * word 1 (`nargs`) counts operand-register arguments including
+    ///   the receiver — the encoded count for a zero-format send, and
+    ///   always 2 for a three-address send, whose B and C buses always
+    ///   carry values. A source-level *unary* send compiled to
+    ///   three-address form duplicates the receiver on C (compiler
+    ///   convention, §3.5), so its message reads `nargs = 2` with the
+    ///   receiver as the argument word.
+    /// * word 2 is the faulting instruction's C operand (Uninit for a
+    ///   one-operand zero-format send). Extra arguments of a send that
+    ///   staged them into the next context stay readable in the
+    ///   handler's own context slots 3.., which *are* the faulting
+    ///   send's argument slots.
+    fn reify_message(
+        &mut self,
+        opcode: Opcode,
+        nargs: u8,
+        arg: (Word, ClassId),
+    ) -> Result<(Word, ClassId), MachineError> {
+        self.stats.memory_op_cycles += self.config.memory_penalty;
+        let msg = match self
+            .space
+            .create(self.team, ClassTable::OBJECT, 3, AllocKind::Object)
+        {
+            Ok(o) => o,
+            Err(MemError::OutOfAbsoluteSpace { .. }) => {
+                self.collect_garbage()?;
+                self.space
+                    .create(self.team, ClassTable::OBJECT, 3, AllocKind::Object)?
+            }
+            Err(e) => return Err(e.into()),
+        };
+        self.mem_write(msg, Word::Int(opcode.0 as i64), ClassId::SMALL_INT)?;
+        self.mem_write(
+            msg.with_offset(1)?,
+            Word::Int(nargs as i64),
+            ClassId::SMALL_INT,
+        )?;
+        self.mem_write(msg.with_offset(2)?, arg.0, arg.1)?;
+        Ok((Word::Ptr(msg), ClassTable::OBJECT))
     }
 
     fn do_return(&mut self) -> Result<(), MachineError> {
@@ -2136,14 +2306,27 @@ impl Machine {
             .ok_or_else(|| MachineError::UnknownSelector(name.to_string()))
     }
 
-    /// Abandons the current send (in flight or completed): releases the
-    /// synthesized entry method's code root, drops the context registers,
-    /// instruction pointer and result cell from the root set, and
-    /// releases every context-cache block (resident contexts are pinned
-    /// by the collector, and with the registers gone their contents are
-    /// dead — free-list contexts are cleared on reuse, so nothing needs
-    /// writing back). The abandoned call graph is then fully collectable,
-    /// and the machine accepts a fresh [`start_send`](Self::start_send).
+    /// Abandons the current send (in flight, trapped, or completed) and
+    /// unwinds the machine to a defined, re-callable state:
+    ///
+    /// * the synthesized entry method's code root is released;
+    /// * the context registers, instruction pointer and result cell drop
+    ///   out of the root set, and every context-cache block is released
+    ///   (resident contexts are pinned by the collector, and with the
+    ///   registers gone their contents are dead — free-list contexts are
+    ///   cleared on reuse, so nothing needs writing back);
+    /// * the pooled free contexts and stale escape marks are dropped
+    ///   (both are per-call-graph state a fresh machine does not have);
+    /// * the ITLB and instruction cache **contents** are flushed (their
+    ///   cumulative statistics counters are machine history and stay).
+    ///
+    /// The abandoned call graph is then fully collectable, and the next
+    /// [`start_send`](Self::start_send) is indistinguishable from one on
+    /// a freshly booted machine: same answers, same [`CycleStats`]
+    /// deltas, same heap after a collection. [`run_for`](Self::run_for)
+    /// (and [`run_stepwise`](Self::run_stepwise)) route every trap exit
+    /// through here, so an unhandled trap can never wedge the machine or
+    /// leave the dead call graph rooted.
     pub fn abort_send(&mut self) {
         self.release_entry();
         self.cp = None;
@@ -2154,12 +2337,20 @@ impl Machine {
         self.shadow.clear();
         self.last_dest = None;
         self.cur_slab = DefinedMethod::UNRESOLVED;
+        self.free_list.clear();
+        self.escaped.clear();
         if let Some(cc) = &mut self.cc {
             cc.set_current(None);
             cc.set_next(None);
             for abs in cc.resident() {
                 cc.release(abs);
             }
+        }
+        if let Some(itlb) = &mut self.itlb {
+            itlb.flush();
+        }
+        if let Some(ic) = &mut self.icache {
+            ic.clear();
         }
     }
 
@@ -2273,8 +2464,27 @@ impl Machine {
     ///
     /// # Errors
     ///
-    /// Any trap the program raises.
+    /// Any trap the program raises — and a trap exit **unwinds**: the
+    /// statistics accrued up to the faulting instruction are flushed and
+    /// kept, then the machine routes through
+    /// [`abort_send`](Self::abort_send), so the trapped call graph is
+    /// immediately collectable and the next
+    /// [`start_send`](Self::start_send) is indistinguishable from one on
+    /// a fresh machine. (Budget exhaustion is a yield, not a trap: the
+    /// in-flight call survives and resumes.)
     pub fn run_for(&mut self, budget: u64) -> Result<RunOutcome, MachineError> {
+        match self.run_for_inner(budget) {
+            Ok(out) => Ok(out),
+            Err(e) => {
+                self.abort_send();
+                Err(e)
+            }
+        }
+    }
+
+    /// [`run_for`](Self::run_for) without the trap-exit unwind: the
+    /// threaded loop itself.
+    fn run_for_inner(&mut self, budget: u64) -> Result<RunOutcome, MachineError> {
         /// Why an inner threaded segment ended.
         enum SegEnd {
             /// The step budget ran out mid-method.
@@ -2436,8 +2646,13 @@ impl Machine {
             }
         };
 
-        // Step 3: translate through the ITLB (or pay full lookup).
-        let method = self.resolve(key)?;
+        // Step 3: translate through the ITLB (or pay full lookup). A
+        // failed translation is offered to software trap dispatch (the
+        // same shared path `step` uses) before it kills the send.
+        let method = match self.resolve(key) {
+            Ok(m) => m,
+            Err(e) => return self.trap_dispatch(instr, b, c, e),
+        };
 
         // Steps 4-5: perform the operation, store results.
         match method {
@@ -2445,7 +2660,10 @@ impl Machine {
                 if instr.returns() && is_pure_data(p) && matches!(instr, Instr::Three { .. }) {
                     // Fast return: function unit result through the result
                     // pointer, then the return sequence — the lowered
-                    // mirror of `write_result`'s returning branch.
+                    // mirror of `write_result`'s returning branch. An
+                    // operand trap propagates directly: `trap_dispatch`
+                    // refuses return-fused instructions before charging
+                    // anything, so `?` here is exactly equivalent.
                     let v = crate::exec::data_op(p, instr.opcode(), b.0, c.0)?;
                     let class = self.class_of_word(&v)?;
                     let (ptr_w, _) = self.read_low(low.a)?;
@@ -2470,7 +2688,12 @@ impl Machine {
                         // slot. Charges exactly what the generic
                         // `exec_primitive` + `write_result` pair charges
                         // for the same instruction: nothing beyond base.
-                        let v = crate::exec::data_op(p, instr.opcode(), b.0, c.0)?;
+                        // An operand trap takes the same software
+                        // dispatch offer the generic path takes.
+                        let v = match crate::exec::data_op(p, instr.opcode(), b.0, c.0) {
+                            Ok(v) => v,
+                            Err(e) => return self.trap_dispatch(instr, b, c, e),
+                        };
                         let class = self.class_of_word(&v)?;
                         self.ctx_write_raw(dnext, doff, v, class)?;
                         let reg = if dnext { &self.ncp } else { &self.cp };
@@ -2510,7 +2733,12 @@ impl Machine {
     ///
     /// # Errors
     ///
-    /// Returns [`MachineError::StepLimit`] on exhaustion or any trap.
+    /// Returns [`MachineError::StepLimit`] on exhaustion (the in-flight
+    /// call survives and can be driven further, exactly like
+    /// [`run_for`](Self::run_for)'s out-of-budget outcome) or any trap —
+    /// and a trap exit unwinds through [`abort_send`](Self::abort_send)
+    /// exactly as [`run_for`](Self::run_for)'s does, so the two loops
+    /// leave bit-identical machines on every trap path.
     pub fn run_stepwise(&mut self, max_steps: u64) -> Result<RunResult, MachineError> {
         for _ in 0..max_steps {
             match self.step() {
@@ -2522,7 +2750,10 @@ impl Machine {
                         steps: self.steps,
                     })
                 }
-                Err(e) => return Err(e),
+                Err(e) => {
+                    self.abort_send();
+                    return Err(e);
+                }
             }
         }
         Err(MachineError::StepLimit)
@@ -2993,6 +3224,176 @@ mod tests {
             }
             other => panic!("expected DNU, got {other:?}"),
         }
+    }
+
+    /// An image where SmallInteger installs a `doesNotUnderstand:`
+    /// handler that answers the reified message's selector opcode (word
+    /// 0), and interns `frobnicate` without defining it anywhere.
+    fn dnu_handler_image() -> (ProgramImage, Opcode) {
+        let mut img = ProgramImage::empty();
+        let missing = img.opcodes.intern("frobnicate");
+        let dnu = img
+            .opcodes
+            .intern(com_obj::TrapSelector::DoesNotUnderstand.name());
+        // doesNotUnderstand: msg — c3 <- msg at 0 ; return c3.
+        let mut asm = Assembler::new("SmallInteger>>doesNotUnderstand:", 2);
+        let k0 = asm.intern_const(Word::Int(0));
+        asm.emit_three(
+            Opcode::RAWAT,
+            Operand::Cur(3),
+            Operand::Cur(2),
+            Operand::Const(k0),
+        )
+        .unwrap();
+        asm.emit_three_ret(
+            Opcode::MOVE,
+            Operand::Cur(0),
+            Operand::Cur(3),
+            Operand::Cur(3),
+        )
+        .unwrap();
+        img.add_method(ClassId::SMALL_INT, dnu, asm.finish().unwrap());
+        (img, missing)
+    }
+
+    #[test]
+    fn dnu_handler_catches_failed_send_and_execution_continues() {
+        // The entry send itself fails lookup; the handler's answer (the
+        // reified selector opcode) becomes the program result — the
+        // trapped-by-default condition ran to a halt instead.
+        let (img, missing) = dnu_handler_image();
+        let mut m = Machine::new(MachineConfig::default());
+        m.load(&img).unwrap();
+        m.start_send(missing, Word::Int(9), &[]).unwrap();
+        let out = m.run(10_000).unwrap();
+        assert_eq!(out.result, Word::Int(missing.0 as i64));
+        assert_eq!(out.stats.soft_traps, 1);
+        // The stepwise loop dispatches identically.
+        let mut s = Machine::new(MachineConfig::default());
+        s.load(&img).unwrap();
+        s.start_send(missing, Word::Int(9), &[]).unwrap();
+        let b = s.run_stepwise(10_000).unwrap();
+        assert_eq!(b.result, out.result);
+        assert_eq!(
+            b.stats, out.stats,
+            "handler dispatch diverged between loops"
+        );
+    }
+
+    #[test]
+    fn bad_operands_handler_catches_divide_by_zero() {
+        // div0: c3 <- self / 0 ; return c3 — with a badOperands: handler
+        // on SmallInteger answering the reified argument (the zero).
+        let mut img = ProgramImage::empty();
+        let sel = img.opcodes.intern("div0");
+        let bad = img
+            .opcodes
+            .intern(com_obj::TrapSelector::BadOperands.name());
+        let mut asm = Assembler::new("SmallInteger>>div0", 1);
+        let k0 = asm.intern_const(Word::Int(0));
+        asm.emit_three(
+            Opcode::DIV,
+            Operand::Cur(3),
+            Operand::Cur(1),
+            Operand::Const(k0),
+        )
+        .unwrap();
+        asm.emit_three_ret(
+            Opcode::MOVE,
+            Operand::Cur(0),
+            Operand::Cur(3),
+            Operand::Cur(3),
+        )
+        .unwrap();
+        img.add_method(ClassId::SMALL_INT, sel, asm.finish().unwrap());
+        // badOperands: msg — c3 <- 777 ; return c3 (a recovery value).
+        let mut asm = Assembler::new("SmallInteger>>badOperands:", 2);
+        let k = asm.intern_const(Word::Int(777));
+        asm.emit_three(
+            Opcode::MOVE,
+            Operand::Cur(3),
+            Operand::Cur(1),
+            Operand::Const(k),
+        )
+        .unwrap();
+        asm.emit_three_ret(
+            Opcode::MOVE,
+            Operand::Cur(0),
+            Operand::Cur(3),
+            Operand::Cur(3),
+        )
+        .unwrap();
+        img.add_method(ClassId::SMALL_INT, bad, asm.finish().unwrap());
+
+        let mut m = Machine::new(MachineConfig::default());
+        m.load(&img).unwrap();
+        let out = m.send("div0", Word::Int(14), &[], 10_000).unwrap();
+        assert_eq!(out.result, Word::Int(777));
+        assert_eq!(out.stats.soft_traps, 1);
+    }
+
+    #[test]
+    fn trap_exit_unwinds_to_a_fresh_machine() {
+        // The engine unwind contract: an unhandled trap routes through
+        // abort_send, so the next start_send is indistinguishable from
+        // one on a freshly booted machine — same answer, same CycleStats
+        // delta, and (after a collection) the same live heap and roots.
+        let (img, _) = image_with(ClassId::SMALL_INT, "plus:", |asm| {
+            asm.emit_three(
+                Opcode::ADD,
+                Operand::Cur(3),
+                Operand::Cur(1),
+                Operand::Cur(2),
+            )
+            .unwrap();
+            asm.emit_three_ret(
+                Opcode::MOVE,
+                Operand::Cur(0),
+                Operand::Cur(3),
+                Operand::Cur(3),
+            )
+            .unwrap();
+        });
+        let mut fresh = Machine::new(MachineConfig::default());
+        fresh.load(&img).unwrap();
+        let baseline = fresh
+            .send("plus:", Word::Int(20), &[Word::Int(22)], 10_000)
+            .unwrap();
+
+        let mut m = Machine::new(MachineConfig::default());
+        m.load(&img).unwrap();
+        // Trap: an interned selector nothing answers (atom receiver).
+        let missing = m.intern_selector("zap:");
+        m.start_send(missing, Word::Atom(com_mem::AtomId(5)), &[Word::Int(1)])
+            .unwrap();
+        match m.run(10_000) {
+            Err(MachineError::DoesNotUnderstand { .. }) => {}
+            other => panic!("expected DNU, got {other:?}"),
+        }
+        // Unwound: registers and the trapped call graph are gone...
+        assert_eq!(m.code_root_count(), fresh.code_root_count());
+        // ...and the follow-up call is bit-identical to the fresh
+        // machine's first call (warm-state leaks — ITLB, icache, context
+        // pool — would show up here as cheaper lookups or fetches).
+        let before = m.stats();
+        let out = m
+            .send("plus:", Word::Int(20), &[Word::Int(22)], 10_000)
+            .unwrap();
+        assert_eq!(out.result, baseline.result);
+        assert_eq!(
+            out.stats.since(&before),
+            baseline.stats,
+            "post-trap call diverged from a fresh machine's"
+        );
+        // After a full collection the trapped call left no live residue:
+        // both machines hold exactly the same number of allocated words.
+        m.collect_garbage().unwrap();
+        fresh.collect_garbage().unwrap();
+        assert_eq!(
+            m.space().memory().buddy().allocated_words(),
+            fresh.space().memory().buddy().allocated_words(),
+            "the trapped call graph stayed live across GC"
+        );
     }
 
     #[test]

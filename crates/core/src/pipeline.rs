@@ -55,6 +55,13 @@ pub struct CycleStats {
     pub gc_runs: u64,
     /// Minor (nursery-only) collections among [`gc_runs`](Self::gc_runs).
     pub gc_minor_runs: u64,
+    /// Traps handled in software: failed sends (and function-unit operand
+    /// traps) reified and re-dispatched to an installed
+    /// `doesNotUnderstand:`-style handler instead of killing the call.
+    /// The dispatch's cycle costs are charged to `lookup_cycles` (the
+    /// handler walk), `memory_op_cycles` (the reified message), and the
+    /// ordinary call charges; this counts the events.
+    pub soft_traps: u64,
 }
 
 impl CycleStats {
@@ -104,6 +111,7 @@ impl CycleStats {
             contexts_left_to_gc: self.contexts_left_to_gc - s.contexts_left_to_gc,
             gc_runs: self.gc_runs - s.gc_runs,
             gc_minor_runs: self.gc_minor_runs - s.gc_minor_runs,
+            soft_traps: self.soft_traps - s.soft_traps,
         }
     }
 

@@ -21,7 +21,10 @@ pub enum MachineError {
     /// the receiver's class chain has no method for it.
     UnknownSelector(String),
     /// No method found for this (selector, receiver class) — the Smalltalk
-    /// doesNotUnderstand condition.
+    /// doesNotUnderstand condition. Raised only when the receiver's class
+    /// chain installs no `doesNotUnderstand:` handler: with one installed,
+    /// the failed send is reified and re-dispatched to the handler in
+    /// software and execution continues (see `Machine`'s trap dispatch).
     DoesNotUnderstand {
         /// The unresolvable selector.
         opcode: Opcode,
@@ -48,7 +51,10 @@ pub enum MachineError {
     /// execute data").
     ExecutingData(Word),
     /// A function unit received operands it has no interpretation for
-    /// (e.g. `/` by zero, shift of a pointer).
+    /// (e.g. `/` by zero, shift of a pointer). For pure data operations
+    /// this is raised only when the receiver's class chain installs no
+    /// `badOperands:` handler — with one installed, the faulting
+    /// operation re-dispatches to the handler in software.
     BadOperands {
         /// The operation's selector.
         opcode: Opcode,

@@ -353,6 +353,335 @@ fn warm_resends_reuse_the_slab_and_agree() {
     }
 }
 
+/// Every trap path, through both loops: the threaded loop and the
+/// stepwise reference must agree on the error, the statistics accrued up
+/// to the faulting instruction, and every cache's counters — and both
+/// must unwind to machines that answer a follow-up send identically.
+#[test]
+fn trap_paths_are_bit_identical_between_loops() {
+    use com_isa::Instr;
+
+    // One image holding a trap-path method per trap kind, plus a healthy
+    // method for the post-trap follow-up send.
+    let mut img = ProgramImage::empty();
+    let k = |asm: &mut Assembler, v: i64| asm.intern_const(Word::Int(v));
+
+    // dnu: sends an interned-but-nowhere-defined selector.
+    let missing = img.opcodes.intern("missingSelector:");
+    let sel = img.opcodes.intern("dnu:");
+    let mut asm = Assembler::new("SmallInteger>>dnu:", 2);
+    asm.emit_three(
+        Opcode(missing.0),
+        Operand::Cur(3),
+        Operand::Cur(1),
+        Operand::Cur(2),
+    )
+    .unwrap();
+    asm.emit_three_ret(
+        Opcode::MOVE,
+        Operand::Cur(0),
+        Operand::Cur(3),
+        Operand::Cur(3),
+    )
+    .unwrap();
+    img.add_method(ClassId::SMALL_INT, sel, asm.finish().unwrap());
+
+    // div0: divide by zero (BadOperands from the function unit).
+    let sel = img.opcodes.intern("div0:");
+    let mut asm = Assembler::new("SmallInteger>>div0:", 2);
+    let k0 = k(&mut asm, 0);
+    asm.emit_three(
+        Opcode::DIV,
+        Operand::Cur(3),
+        Operand::Cur(1),
+        Operand::Const(k0),
+    )
+    .unwrap();
+    asm.emit_three_ret(
+        Opcode::MOVE,
+        Operand::Cur(0),
+        Operand::Cur(3),
+        Operand::Cur(3),
+    )
+    .unwrap();
+    img.add_method(ClassId::SMALL_INT, sel, asm.finish().unwrap());
+
+    // uninit: an unwritten slot flows into dispatch — the receiver
+    // classes as UndefinedObject and the add fails lookup.
+    let sel = img.opcodes.intern("uninit:");
+    let mut asm = Assembler::new("SmallInteger>>uninit:", 2);
+    let k1 = k(&mut asm, 1);
+    asm.emit_three(
+        Opcode::ADD,
+        Operand::Cur(4),
+        Operand::Cur(9),
+        Operand::Const(k1),
+    )
+    .unwrap();
+    asm.emit_three_ret(
+        Opcode::MOVE,
+        Operand::Cur(0),
+        Operand::Cur(4),
+        Operand::Cur(4),
+    )
+    .unwrap();
+    img.add_method(ClassId::SMALL_INT, sel, asm.finish().unwrap());
+
+    // badbranch: a jump whose condition is a pointer-free non-boolean.
+    let sel = img.opcodes.intern("badbranch:");
+    let mut asm = Assembler::new("SmallInteger>>badbranch:", 2);
+    let kf = asm.intern_const(Word::Float(1.5));
+    asm.emit(
+        Instr::three(
+            Opcode::FJMP,
+            Operand::Cur(3),
+            Operand::Const(kf),
+            Operand::Const(kf),
+        )
+        .unwrap(),
+    );
+    asm.emit_three_ret(
+        Opcode::MOVE,
+        Operand::Cur(0),
+        Operand::Cur(1),
+        Operand::Cur(1),
+    )
+    .unwrap();
+    img.add_method(ClassId::SMALL_INT, sel, asm.finish().unwrap());
+
+    // felloff: no return — the pc leaves the method body.
+    let sel = img.opcodes.intern("felloff:");
+    let mut asm = Assembler::new("SmallInteger>>felloff:", 2);
+    asm.emit_three(
+        Opcode::ADD,
+        Operand::Cur(3),
+        Operand::Cur(1),
+        Operand::Cur(2),
+    )
+    .unwrap();
+    img.add_method(ClassId::SMALL_INT, sel, asm.finish().unwrap());
+
+    // A healthy method for the post-trap follow-up.
+    let sel = img.opcodes.intern("plus:");
+    let mut asm = Assembler::new("SmallInteger>>plus:", 2);
+    asm.emit_three(
+        Opcode::ADD,
+        Operand::Cur(3),
+        Operand::Cur(1),
+        Operand::Cur(2),
+    )
+    .unwrap();
+    asm.emit_three_ret(
+        Opcode::MOVE,
+        Operand::Cur(0),
+        Operand::Cur(3),
+        Operand::Cur(3),
+    )
+    .unwrap();
+    img.add_method(ClassId::SMALL_INT, sel, asm.finish().unwrap());
+
+    for trap_sel in ["dnu:", "div0:", "uninit:", "badbranch:", "felloff:"] {
+        for cfg in [
+            MachineConfig::default(),
+            MachineConfig::default().without_itlb(),
+            MachineConfig::default().without_context_cache(),
+        ] {
+            let drive = |stepwise: bool| {
+                let mut m = Machine::new(cfg);
+                m.load(&img).unwrap();
+                let s = m.opcodes().get(trap_sel).unwrap();
+                m.start_send(s, Word::Int(6), &[Word::Int(3)]).unwrap();
+                let trap = if stepwise {
+                    m.run_stepwise(10_000)
+                } else {
+                    m.run(10_000)
+                }
+                .map(|r| (r.result, r.steps));
+                let trap_stats = m.stats();
+                // The unwound machine must serve a follow-up send.
+                let s = m.opcodes().get("plus:").unwrap();
+                m.start_send(s, Word::Int(2), &[Word::Int(40)]).unwrap();
+                let after = if stepwise {
+                    m.run_stepwise(10_000)
+                } else {
+                    m.run(10_000)
+                }
+                .unwrap();
+                (
+                    trap,
+                    trap_stats,
+                    after.result,
+                    m.stats(),
+                    m.itlb_stats(),
+                    m.icache_stats(),
+                    m.ctx_cache_stats(),
+                )
+            };
+            let a = drive(false);
+            let b = drive(true);
+            assert!(a.0.is_err(), "{trap_sel} must trap");
+            assert_eq!(a.0, b.0, "{trap_sel}: errors diverged");
+            assert_eq!(a.1, b.1, "{trap_sel}: trap-point stats diverged");
+            assert_eq!(a.2, Word::Int(42), "{trap_sel}: follow-up wrong");
+            assert_eq!(a.3, b.3, "{trap_sel}: post-trap stats diverged");
+            assert_eq!(a.4, b.4, "{trap_sel}: ITLB stats diverged");
+            assert_eq!(a.5, b.5, "{trap_sel}: icache stats diverged");
+            assert_eq!(a.6, b.6, "{trap_sel}: ctx cache stats diverged");
+        }
+    }
+}
+
+/// The handler-dispatch paths (`doesNotUnderstand:` catching a failed
+/// send, `badOperands:` catching a divide by zero) through both loops:
+/// dispatch must be bit-identical, not just trap exits.
+#[test]
+fn handler_dispatch_is_bit_identical_between_loops() {
+    let mut img = ProgramImage::empty();
+    let missing = img.opcodes.intern("missingSelector:");
+    let dnu = img
+        .opcodes
+        .intern(com_obj::TrapSelector::DoesNotUnderstand.name());
+    let bad = img
+        .opcodes
+        .intern(com_obj::TrapSelector::BadOperands.name());
+
+    // proxyBench: n failed sends + one handled divide by zero, looped.
+    let sel = img.opcodes.intern("proxyBench");
+    let mut asm = Assembler::new("SmallInteger>>proxyBench", 1);
+    let k0 = asm.intern_const(Word::Int(0));
+    let k1 = asm.intern_const(Word::Int(1));
+    // c3 <- self (counter), c4 <- 0 (acc)
+    asm.emit_three(
+        Opcode::MOVE,
+        Operand::Cur(3),
+        Operand::Cur(1),
+        Operand::Cur(1),
+    )
+    .unwrap();
+    asm.emit_three(
+        Opcode::MOVE,
+        Operand::Cur(4),
+        Operand::Cur(1),
+        Operand::Const(k0),
+    )
+    .unwrap();
+    let top = asm.label();
+    let body = asm.label();
+    let done = asm.label();
+    asm.bind(top);
+    asm.emit_three(
+        Opcode::GT,
+        Operand::Cur(5),
+        Operand::Cur(3),
+        Operand::Const(k0),
+    )
+    .unwrap();
+    asm.jump_if(Operand::Cur(5), body);
+    asm.jump(done);
+    asm.bind(body);
+    // c6 <- self missingSelector: c3   (DNU -> handler answers selector)
+    asm.emit_three(
+        Opcode(missing.0),
+        Operand::Cur(6),
+        Operand::Cur(1),
+        Operand::Cur(3),
+    )
+    .unwrap();
+    // c7 <- c6 / 0                      (BadOperands -> handler answers 5)
+    asm.emit_three(
+        Opcode::DIV,
+        Operand::Cur(7),
+        Operand::Cur(6),
+        Operand::Const(k0),
+    )
+    .unwrap();
+    // acc <- acc + c7 ; counter -= 1
+    asm.emit_three(
+        Opcode::ADD,
+        Operand::Cur(4),
+        Operand::Cur(4),
+        Operand::Cur(7),
+    )
+    .unwrap();
+    asm.emit_three(
+        Opcode::SUB,
+        Operand::Cur(3),
+        Operand::Cur(3),
+        Operand::Const(k1),
+    )
+    .unwrap();
+    asm.jump(top);
+    asm.bind(done);
+    asm.emit_three_ret(
+        Opcode::MOVE,
+        Operand::Cur(0),
+        Operand::Cur(4),
+        Operand::Cur(4),
+    )
+    .unwrap();
+    img.add_method(ClassId::SMALL_INT, sel, asm.finish().unwrap());
+
+    // doesNotUnderstand: msg — answer the reified selector opcode.
+    let mut asm = Assembler::new("SmallInteger>>doesNotUnderstand:", 2);
+    let kz = asm.intern_const(Word::Int(0));
+    asm.emit_three(
+        Opcode::RAWAT,
+        Operand::Cur(3),
+        Operand::Cur(2),
+        Operand::Const(kz),
+    )
+    .unwrap();
+    asm.emit_three_ret(
+        Opcode::MOVE,
+        Operand::Cur(0),
+        Operand::Cur(3),
+        Operand::Cur(3),
+    )
+    .unwrap();
+    img.add_method(ClassId::SMALL_INT, dnu, asm.finish().unwrap());
+
+    // badOperands: msg — answer 5.
+    let mut asm = Assembler::new("SmallInteger>>badOperands:", 2);
+    let k5 = asm.intern_const(Word::Int(5));
+    asm.emit_three(
+        Opcode::MOVE,
+        Operand::Cur(3),
+        Operand::Cur(1),
+        Operand::Const(k5),
+    )
+    .unwrap();
+    asm.emit_three_ret(
+        Opcode::MOVE,
+        Operand::Cur(0),
+        Operand::Cur(3),
+        Operand::Cur(3),
+    )
+    .unwrap();
+    img.add_method(ClassId::SMALL_INT, bad, asm.finish().unwrap());
+
+    for cfg in [
+        MachineConfig::default(),
+        MachineConfig::default().without_itlb(),
+        MachineConfig::default().without_context_cache(),
+        MachineConfig {
+            gc_minor_interval: Some(101),
+            gc_full_interval: Some(809),
+            ..MachineConfig::default()
+        },
+    ] {
+        let a = observe(&img, "proxyBench", Word::Int(25), cfg, 1_000_000, false);
+        let b = observe(&img, "proxyBench", Word::Int(25), cfg, 1_000_000, true);
+        let (result, _) = a.result.clone().unwrap();
+        assert_eq!(result, Word::Int(25 * 5), "handlers must carry the loop");
+        assert_eq!(a.result, b.result);
+        assert_eq!(a.stats, b.stats, "handler dispatch stats diverged");
+        assert_eq!(a.itlb, b.itlb);
+        assert_eq!(a.icache, b.icache);
+        assert_eq!(a.cc, b.cc);
+        assert_eq!(a.stats.soft_traps, 50, "25 DNUs + 25 handled divides");
+    }
+}
+
 #[test]
 fn class_chain_cycle_traps_as_corruption_not_dnu() {
     let mut img = ProgramImage::empty();

@@ -242,7 +242,10 @@ impl FithMachine {
     ///
     /// # Errors
     ///
-    /// Returns [`FithError::StepLimit`] if the budget runs out, or any trap.
+    /// Returns [`FithError::UnknownSelector`] if `selector` was never
+    /// interned in the image (no class could possibly answer it — the
+    /// same refusal the COM engine gives, instead of a panic),
+    /// [`FithError::StepLimit`] if the budget runs out, or any trap.
     pub fn send(
         &mut self,
         image: &FithImage,
@@ -254,7 +257,7 @@ impl FithMachine {
         let op = image
             .opcodes
             .get(selector)
-            .unwrap_or_else(|| panic!("selector {selector:?} was never interned"));
+            .ok_or_else(|| FithError::UnknownSelector(selector.to_string()))?;
         let rclass = self.class_of_word(&receiver)?;
         self.push(receiver, rclass);
         for a in args {
@@ -510,6 +513,22 @@ mod tests {
     fn fith_machine_is_send() {
         fn assert_send<T: Send>() {}
         assert_send::<FithMachine>();
+    }
+
+    #[test]
+    fn send_of_uninterned_selector_errors_instead_of_panicking() {
+        // Mirrors the COM engine's refusal (PR 3): a selector no source
+        // ever mentioned cannot be answered by any class, and must be an
+        // error, not a panic.
+        let img = sumto_image();
+        let mut m = FithMachine::new(&img);
+        match m.send(&img, "neverInterned:", Word::Int(1), &[], 100) {
+            Err(FithError::UnknownSelector(name)) => assert_eq!(name, "neverInterned:"),
+            other => panic!("expected UnknownSelector, got {other:?}"),
+        }
+        // The machine is still usable after the refused send.
+        let out = m.send(&img, "sumto", Word::Int(10), &[], 10_000).unwrap();
+        assert_eq!(out.result, Word::Int(55));
     }
 
     /// SmallInteger>>sumto compiled by hand for the stack machine.

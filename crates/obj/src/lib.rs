@@ -16,6 +16,9 @@
 //!   measurable.
 //! * [`lookup_method`] — the full dispatch walk (dictionary per class, up
 //!   the superclass chain), returning both the method and its cost.
+//! * [`TrapSelector`]/[`lookup_trap_handler`] — the well-known software
+//!   trap handler selectors (`doesNotUnderstand:`, `badOperands:`) and
+//!   the chain walk that finds a class's installed handler method.
 //! * [`Itlb`] — the ITLB: "an opcode and the set of operand object datatypes
 //!   are associated to a method", with an optional second level ("a larger
 //!   second level ITLB can be implemented in main memory", §5).
@@ -36,5 +39,5 @@ pub use atoms::AtomTable;
 pub use class::{install_standard_primitives, ClassInfo, ClassTable};
 pub use dict::MessageDictionary;
 pub use itlb::{Itlb, ItlbConfig, ItlbHit, ItlbKey};
-pub use lookup::{lookup_method, LookupCost, LookupOutcome};
+pub use lookup::{lookup_method, lookup_trap_handler, LookupCost, LookupOutcome, TrapSelector};
 pub use method::{DefinedMethod, MethodRef};

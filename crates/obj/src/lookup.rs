@@ -1,9 +1,70 @@
 //! Full method lookup: the costly association the ITLB exists to avoid.
+//!
+//! Also the home of **software trap dispatch** support: the well-known
+//! handler selectors ([`TrapSelector`]) and the chain walk that finds a
+//! per-class handler method ([`lookup_trap_handler`]) when the machine
+//! wants to handle a trap in software instead of killing the send.
 
 use com_isa::Opcode;
 use com_mem::ClassId;
 
-use crate::{ClassTable, MethodRef};
+use crate::{ClassTable, DefinedMethod, MethodRef};
+
+/// The well-known selectors a class installs to handle machine traps in
+/// software. Installing one is ordinary method installation (the handler
+/// *is* a method, inherited along the superclass chain like any other);
+/// this enum only fixes the names the machine looks for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TrapSelector {
+    /// Handles a failed method lookup (the Smalltalk
+    /// `doesNotUnderstand:` condition): the handler receives the reified
+    /// failed send and its answer replaces the failed send's result.
+    DoesNotUnderstand,
+    /// Handles a function-unit operand trap (`BadOperands`, e.g. divide
+    /// by zero): the handler receives the reified faulting operation and
+    /// its answer replaces the operation's result.
+    BadOperands,
+}
+
+impl TrapSelector {
+    /// The selector name a program interns to install this handler.
+    pub const fn name(self) -> &'static str {
+        match self {
+            TrapSelector::DoesNotUnderstand => "doesNotUnderstand:",
+            TrapSelector::BadOperands => "badOperands:",
+        }
+    }
+
+    /// Every handler kind, for loaders that bind all of them at once.
+    pub const ALL: [TrapSelector; 2] = [TrapSelector::DoesNotUnderstand, TrapSelector::BadOperands];
+}
+
+impl core::fmt::Display for TrapSelector {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Finds the trap handler a receiver of class `class` would dispatch to
+/// for the handler selector `handler` (an interned [`TrapSelector`]
+/// name): the ordinary superclass-chain walk, restricted to **defined**
+/// methods — a primitive cannot accept a reified trap message, so a
+/// primitive installation is reported as "no handler".
+///
+/// Returns the handler (if any) with the full [`LookupOutcome`] so the
+/// caller can charge the walk's cycles like any other full lookup.
+pub fn lookup_trap_handler(
+    classes: &ClassTable,
+    class: ClassId,
+    handler: Opcode,
+) -> (Option<DefinedMethod>, LookupOutcome) {
+    let out = lookup_method(classes, class, handler);
+    let method = match out.method {
+        Some(MethodRef::Defined(d)) => Some(d),
+        _ => None,
+    };
+    (method, out)
+}
 
 /// Cost model for one full method lookup, in processor cycles.
 ///
@@ -168,6 +229,33 @@ mod tests {
         let out = lookup_method(&t, a, Opcode::MUL);
         assert!(out.cycle);
         assert_eq!(out.classes_visited, 1);
+    }
+
+    #[test]
+    fn trap_handler_lookup_walks_the_chain_and_requires_defined() {
+        use com_fpa::{Fpa, FpaFormat};
+        let mut t = ClassTable::new();
+        install_standard_primitives(&mut t);
+        let dnu = Opcode(900); // an interned "doesNotUnderstand:" stand-in
+        let a = t.define("A", Some(ClassTable::OBJECT), 0).unwrap();
+        let b = t.define("B", Some(a), 0).unwrap();
+        // No handler anywhere: nothing found, walk charged.
+        let (m, out) = lookup_trap_handler(&t, b, dnu);
+        assert!(m.is_none());
+        assert_eq!(out.classes_visited, 3, "B -> A -> Object");
+        // Installed on the superclass: inherited by B.
+        let code = Fpa::from_raw(0x40, FpaFormat::COM).unwrap();
+        t.install(a, dnu, MethodRef::Defined(DefinedMethod::new(code, 2)));
+        let (m, out) = lookup_trap_handler(&t, b, dnu);
+        assert_eq!(m.unwrap().code, code);
+        assert_eq!(out.classes_visited, 2, "B -> A");
+        // A primitive installation is not a usable handler.
+        t.install(b, dnu, MethodRef::Primitive(PrimOp::Move));
+        let (m, _) = lookup_trap_handler(&t, b, dnu);
+        assert!(m.is_none(), "primitive handler must be ignored");
+        // Selector names are fixed.
+        assert_eq!(TrapSelector::DoesNotUnderstand.name(), "doesNotUnderstand:");
+        assert_eq!(TrapSelector::BadOperands.to_string(), "badOperands:");
     }
 
     #[test]

@@ -12,6 +12,18 @@ class Object
   method yourself ^self end
 end
 
+"Software trap handlers: defining 'method doesNotUnderstand: msg' (or
+ 'method badOperands: msg') on any class installs that class's handler —
+ a failed send (or a function-unit operand trap, e.g. divide by zero)
+ whose receiver is an instance re-dispatches to the handler instead of
+ killing the program, and the handler's answer becomes the faulting
+ operation's result. The reified message is a 3-word object read with
+ the fixed-opcode rawAt: — 'msg rawAt: 0' is the failed selector's
+ opcode, 'msg rawAt: 1' the send's nargs (receiver included), and
+ 'msg rawAt: 2' the transmitted argument. (Deliberately not wrapped in
+ stdlib accessor methods: the prelude interns no selectors for this, so
+ programs that never install a handler get byte-identical images.)"
+
 class UndefinedObject
   method isNil ^true end
 end

@@ -1,8 +1,36 @@
 //! The unified embedding error.
 
-use com_core::MachineError;
+use com_core::{CycleStats, MachineError};
 use com_mem::Word;
 use com_stc::CompileError;
+
+/// A machine trap that unwound a call, with the call's accounting.
+///
+/// Produced by [`Session`](crate::Session) run paths
+/// ([`send_raw`](crate::Session::send_raw),
+/// [`resume`](crate::Session::resume)): the engine has already routed
+/// through `Machine::abort_send`, so the session is re-callable and the
+/// trapped call graph is collectable — this record is everything that
+/// remains of the call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trap {
+    /// The trap that ended the call.
+    pub cause: MachineError,
+    /// The unwound call's **partial** [`CycleStats`]: the work the call
+    /// performed from its start up to (and including) the faulting
+    /// instruction, as a delta — not the session's cumulative counters.
+    pub stats: CycleStats,
+}
+
+impl core::fmt::Display for Trap {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "{} (after {} instructions of the unwound call)",
+            self.cause, self.stats.instructions
+        )
+    }
+}
 
 /// Everything that can go wrong at the embedding boundary, in one type:
 /// compilation, machine traps, and the facade's own conditions (type
@@ -12,8 +40,15 @@ use com_stc::CompileError;
 pub enum VmError {
     /// Source text failed to compile.
     Compile(CompileError),
-    /// The machine trapped (or refused the send).
+    /// The machine refused the call before it ran (boot/start errors:
+    /// allocation failures, a malformed entry). Traps raised by a
+    /// *running* call surface as [`VmError::Trap`] instead, which also
+    /// carries the unwound call's partial statistics.
     Machine(MachineError),
+    /// A running call trapped and was unwound. The session stays
+    /// serviceable: the engine's `abort_send` cleanup already ran, so
+    /// the next call behaves exactly as on a fresh session.
+    Trap(Box<Trap>),
     /// A typed call's result did not convert to the requested Rust type.
     Type {
         /// What the caller asked for (e.g. `"i64"`).
@@ -65,11 +100,34 @@ impl From<MachineError> for VmError {
     }
 }
 
+impl VmError {
+    /// Wraps a trap that unwound a running call, capturing the call's
+    /// partial statistics.
+    pub(crate) fn trap(cause: MachineError, stats: CycleStats) -> VmError {
+        match cause {
+            // Unknown selectors are a refusal, not an unwound run.
+            MachineError::UnknownSelector(name) => VmError::UnknownSelector(name),
+            cause => VmError::Trap(Box::new(Trap { cause, stats })),
+        }
+    }
+
+    /// The machine trap underlying this error, if any (either a
+    /// pre-flight refusal or an unwound run).
+    pub fn machine_cause(&self) -> Option<&MachineError> {
+        match self {
+            VmError::Machine(e) => Some(e),
+            VmError::Trap(t) => Some(&t.cause),
+            _ => None,
+        }
+    }
+}
+
 impl core::fmt::Display for VmError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
             VmError::Compile(e) => write!(f, "compile error: {e}"),
-            VmError::Machine(e) => write!(f, "machine trap: {e}"),
+            VmError::Machine(e) => write!(f, "machine refused the call: {e}"),
+            VmError::Trap(t) => write!(f, "machine trap unwound the call: {t}"),
             VmError::Type { expected, got } => {
                 write!(f, "result {got} does not convert to {expected}")
             }
@@ -101,6 +159,7 @@ impl std::error::Error for VmError {
         match self {
             VmError::Compile(e) => Some(e),
             VmError::Machine(e) => Some(e),
+            VmError::Trap(t) => Some(&t.cause),
             _ => None,
         }
     }
@@ -115,6 +174,35 @@ mod tests {
         let e: VmError = MachineError::UnknownSelector("foo".into()).into();
         assert_eq!(e, VmError::UnknownSelector("foo".into()));
         assert!(e.to_string().contains("foo"));
+    }
+
+    #[test]
+    fn trap_wrap_carries_cause_and_partial_stats() {
+        let stats = CycleStats {
+            instructions: 7,
+            base_cycles: 14,
+            ..CycleStats::default()
+        };
+        let e = VmError::trap(
+            MachineError::BadOperands {
+                opcode: com_isa::Opcode::DIV,
+                reason: "division by zero",
+            },
+            stats,
+        );
+        match &e {
+            VmError::Trap(t) => {
+                assert!(matches!(t.cause, MachineError::BadOperands { .. }));
+                assert_eq!(t.stats.instructions, 7);
+            }
+            other => panic!("expected Trap, got {other:?}"),
+        }
+        assert!(e.to_string().contains("division by zero"));
+        assert!(e.machine_cause().is_some());
+        assert!(std::error::Error::source(&e).is_some());
+        // An unknown selector never masquerades as an unwound run.
+        let e = VmError::trap(MachineError::UnknownSelector("x".into()), stats);
+        assert_eq!(e, VmError::UnknownSelector("x".into()));
     }
 
     #[test]

@@ -84,7 +84,7 @@ mod sched;
 mod session;
 
 pub use convert::{FromWord, ToWord};
-pub use error::VmError;
+pub use error::{Trap, VmError};
 pub use pool::{ParallelExecutor, TenantRun};
 pub use sched::{Scheduler, TaskId};
 pub use session::{Outcome, Session};

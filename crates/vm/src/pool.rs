@@ -35,12 +35,20 @@ use crate::{FromWord, Outcome, Session, VmError};
 /// order.
 #[derive(Debug)]
 pub struct TenantRun {
-    /// The session, back from the pool (inspect
-    /// [`last_run`](Session::last_run), statistics, or keep calling it).
+    /// The session, back from the pool: inspect
+    /// [`last_run`](Session::last_run) and statistics on a completed
+    /// tenant, or keep calling it — a trapped tenant's session is
+    /// unwound and stays serviceable (its `last_run` is cleared; the
+    /// trapped call's accounting is in [`error`](Self::error)).
     pub session: Session,
     /// The raw result word, if the call completed.
     pub result: Option<Word>,
-    /// The error that ended the call, if it trapped (or stalled).
+    /// The error that ended the call, if it trapped (or stalled):
+    /// [`VmError::Trap`](crate::VmError::Trap) carries the cause plus the
+    /// unwound call's partial [`CycleStats`](com_core::CycleStats). A
+    /// tenant's trap never
+    /// disturbs a sibling — every other tenant's results and statistics
+    /// stay bit-identical to solo runs.
     pub error: Option<VmError>,
     /// Resume slices the tenant consumed.
     pub slices: u64,

@@ -87,8 +87,13 @@ impl Scheduler {
 
     /// Runs one round-robin sweep: every unfinished task gets one slice.
     /// Returns `true` when every task has finished (or trapped). Per-task
-    /// traps are recorded and reported by [`error`](Self::error) — a
-    /// trapped task simply stops being scheduled.
+    /// traps are recorded and reported by [`error`](Self::error) as
+    /// [`VmError::Trap`] (cause + the unwound call's partial
+    /// [`com_core::CycleStats`]) — a trapped task simply stops being
+    /// scheduled, its session stays serviceable (reclaim it via
+    /// [`into_sessions`](Self::into_sessions)), and every other tenant's
+    /// results and statistics remain bit-identical to solo runs (the trap
+    /// unwound inside that tenant's own machine; nothing is shared).
     pub fn tick(&mut self) -> bool {
         let slice = self.slice;
         let mut all_done = true;

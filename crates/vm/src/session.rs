@@ -61,6 +61,10 @@ pub struct Session {
     step_limit: u64,
     in_flight: bool,
     last_run: Option<RunResult>,
+    /// Cumulative machine stats at the start of the current (or most
+    /// recent) call, so a trap can report the unwound call's *partial*
+    /// stats as a delta.
+    call_base: CycleStats,
 }
 
 impl Session {
@@ -72,7 +76,17 @@ impl Session {
             step_limit: u64::MAX,
             in_flight: false,
             last_run: None,
+            call_base: CycleStats::default(),
         })
+    }
+
+    /// Wraps a machine error from a *running* call as [`VmError::Trap`]
+    /// with the unwound call's partial [`CycleStats`]. The engine's
+    /// `run_for` already routed the trap exit through
+    /// `Machine::abort_send`, so by the time this runs the session is
+    /// re-callable and the trapped call graph is unrooted.
+    fn wrap_trap(&self, cause: com_core::MachineError) -> VmError {
+        VmError::trap(cause, self.machine.stats().since(&self.call_base))
     }
 
     // ------------------------------------------------------------------
@@ -130,7 +144,15 @@ impl Session {
     ///
     /// [`VmError::CallInProgress`] if a resumable call is in flight,
     /// [`VmError::UnknownSelector`], [`VmError::OutOfFuel`] on budget
-    /// exhaustion, or any machine trap.
+    /// exhaustion, or [`VmError::Trap`] for any machine trap.
+    ///
+    /// Every error path leaves the session **clean**: the failed call's
+    /// graph (entry method, contexts, result cell) is dropped from the
+    /// engine's roots via `Machine::abort_send` — traps unwind inside the
+    /// engine; budget exhaustion is unwound here before `OutOfFuel` is
+    /// reported — so the memory is reclaimable by the next collection and
+    /// the next call behaves exactly as on a fresh session (same result,
+    /// same [`CycleStats`] delta, same heap after a collection).
     pub fn send_raw(
         &mut self,
         selector: &str,
@@ -142,12 +164,22 @@ impl Session {
             return Err(VmError::CallInProgress);
         }
         self.start(selector, receiver, args)?;
-        match self.machine.run_for(max_steps)? {
-            RunOutcome::Done(r) => {
+        match self.machine.run_for(max_steps) {
+            Ok(RunOutcome::Done(r)) => {
                 self.last_run = Some(r.clone());
                 Ok(r)
             }
-            RunOutcome::OutOfBudget => Err(VmError::OutOfFuel { budget: max_steps }),
+            Ok(RunOutcome::OutOfBudget) => {
+                // A one-shot call cannot be resumed: drop the half-run
+                // call graph instead of leaving it rooted forever.
+                self.machine.abort_send();
+                self.last_run = None;
+                Err(VmError::OutOfFuel { budget: max_steps })
+            }
+            Err(e) => {
+                self.last_run = None;
+                Err(self.wrap_trap(e))
+            }
         }
     }
 
@@ -196,7 +228,13 @@ impl Session {
     ///
     /// [`VmError::NoCallInProgress`] without a
     /// [`call_start`](Self::call_start), [`VmError::Type`] on result
-    /// conversion, or any machine trap (which also ends the call).
+    /// conversion, or [`VmError::Trap`] for any machine trap. A trap ends
+    /// the call **cleanly**: the engine unwinds through
+    /// `Machine::abort_send` before the error surfaces, so the trapped
+    /// call graph (entry method, context chain, cache-resident blocks,
+    /// result cell) is already unrooted — reclaimable by the next
+    /// collection — and the session's next call behaves exactly as on a
+    /// fresh session.
     pub fn resume<R: FromWord>(&mut self, budget: u64) -> Result<Outcome<R>, VmError> {
         match self.resume_raw(budget)? {
             Outcome::Done(w) => Ok(Outcome::Done(R::from_word(w)?)),
@@ -222,8 +260,14 @@ impl Session {
             }
             Ok(RunOutcome::OutOfBudget) => Ok(Outcome::Yielded),
             Err(e) => {
+                // The engine already unwound (run_for routes trap exits
+                // through abort_send); record the call as over and report
+                // the trap with its partial stats. `last_run` is cleared
+                // so a stale earlier result can never be mistaken for
+                // the trapped call's.
                 self.in_flight = false;
-                Err(e.into())
+                self.last_run = None;
+                Err(self.wrap_trap(e))
             }
         }
     }
@@ -250,19 +294,28 @@ impl Session {
     }
 
     /// Abandons the in-flight call, if any: the engine drops the
-    /// abandoned call graph (entry method, context chain, result cell)
-    /// from its GC roots, so the memory is reclaimable without waiting
-    /// for the next call. The next call starts fresh.
+    /// abandoned call graph (entry method, context chain, cache-resident
+    /// blocks, result cell) from its GC roots, so the memory is
+    /// reclaimable without waiting for the next call. The next call
+    /// behaves exactly as on a fresh session — the same unwind traps take
+    /// (`Machine::abort_send`).
     pub fn cancel(&mut self) {
         if self.in_flight {
             self.machine.abort_send();
+            self.last_run = None;
         }
         self.in_flight = false;
     }
 
     fn start(&mut self, selector: &str, receiver: Word, args: &[Word]) -> Result<(), VmError> {
         let opcode = self.machine.selector(selector)?;
-        self.machine.start_send(opcode, receiver, args)?;
+        self.call_base = self.machine.stats();
+        if let Err(e) = self.machine.start_send(opcode, receiver, args) {
+            // A failed start may have built part of the bootstrap call
+            // graph; drop it rather than leave it rooted.
+            self.machine.abort_send();
+            return Err(e.into());
+        }
         Ok(())
     }
 
@@ -281,7 +334,11 @@ impl Session {
         &self.image
     }
 
-    /// The [`RunResult`] of the last completed call, if any.
+    /// The [`RunResult`] of the last completed call, if any. `None`
+    /// until a call completes — and again after a call is unwound (trap,
+    /// [`cancel`](Self::cancel), one-shot fuel exhaustion) until the
+    /// next completion, so a stale result can never be mistaken for an
+    /// unwound call's.
     pub fn last_run(&self) -> Option<&RunResult> {
         self.last_run.as_ref()
     }

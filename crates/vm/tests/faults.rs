@@ -1,0 +1,308 @@
+//! Session fault isolation: a trap ends one call, not the session — and
+//! never disturbs any other tenant.
+//!
+//! The contract under test (ISSUE 5):
+//! * every trap kind leaves the session serving follow-up calls whose
+//!   results and [`CycleStats`] deltas are bit-identical to a fresh
+//!   session's;
+//! * the trapped call graph is collectable — after a collection the
+//!   trapped session's heap matches a fresh session's exactly;
+//! * [`VmError::Trap`] carries the unwound call's partial statistics;
+//! * a trapping tenant inside the [`Scheduler`] or [`ParallelExecutor`]
+//!   leaves every other tenant's results and statistics bit-identical to
+//!   solo runs.
+
+use com_core::CycleStats;
+use com_vm::{Outcome, ParallelExecutor, Scheduler, Session, Vm, VmError, Word};
+
+const PROGRAM: &str = r#"
+    class Other extends Object
+      method foo ^11 end
+    end
+    class Catcher extends Object
+      method doesNotUnderstand: msg ^39 + (msg rawAt: 1) end
+    end
+    class SmallInteger
+      method tri | acc |
+        acc := 0. 1 to: self do: [ :i | acc := acc + i ]. ^acc
+      end
+      method boom ^1 / (self - self) end
+      method oops | t | ^t + 1 end
+    end
+"#;
+
+fn vm() -> Vm {
+    Vm::new(PROGRAM).unwrap()
+}
+
+/// Drives `trap` on a fresh session, asserts it produced the expected
+/// error, then proves the session's next call is bit-identical to a
+/// fresh session's first call — results, `CycleStats` delta, code
+/// roots, and (after a collection) the live heap.
+fn assert_reuse_matches_fresh(vm: &Vm, label: &str, trap: impl FnOnce(&mut Session)) {
+    let mut fresh = vm.session().unwrap();
+    let boot_roots = fresh.machine().code_root_count();
+    let baseline = fresh.send_raw("tri", Word::Int(9), &[], u64::MAX).unwrap();
+
+    let mut s = vm.session().unwrap();
+    trap(&mut s);
+    assert!(!s.in_flight(), "{label}: the failed call must be over");
+    assert_eq!(
+        s.machine().code_root_count(),
+        boot_roots,
+        "{label}: the failed call's entry method stayed rooted"
+    );
+    let before = s.stats();
+    let out = s.send_raw("tri", Word::Int(9), &[], u64::MAX).unwrap();
+    assert_eq!(out.result, baseline.result, "{label}: follow-up result");
+    assert_eq!(
+        out.stats.since(&before),
+        baseline.stats,
+        "{label}: follow-up call diverged from a fresh session's"
+    );
+    // The failed call graph must be garbage: collect both sessions and
+    // compare live heaps word for word.
+    s.machine_mut().collect_garbage().unwrap();
+    fresh.machine_mut().collect_garbage().unwrap();
+    assert_eq!(
+        s.space().memory().buddy().allocated_words(),
+        fresh.space().memory().buddy().allocated_words(),
+        "{label}: the failed call graph stayed live across GC"
+    );
+}
+
+#[test]
+fn dnu_trap_then_reuse_matches_fresh_session() {
+    let vm = vm();
+    assert_reuse_matches_fresh(&vm, "dnu", |s| {
+        // `foo` is interned (Other defines it) but integers do not
+        // answer it, and no handler is installed on SmallInteger.
+        match s.send_raw("foo", Word::Int(3), &[], u64::MAX) {
+            Err(VmError::Trap(t)) => {
+                assert!(matches!(
+                    t.cause,
+                    com_core::MachineError::DoesNotUnderstand { .. }
+                ));
+                assert!(t.stats.instructions > 0, "partial stats must be carried");
+            }
+            other => panic!("expected DNU trap, got {other:?}"),
+        }
+    });
+}
+
+#[test]
+fn divide_by_zero_then_reuse_matches_fresh_session() {
+    let vm = vm();
+    assert_reuse_matches_fresh(&vm, "div0", |s| {
+        match s.send_raw("boom", Word::Int(3), &[], u64::MAX) {
+            Err(VmError::Trap(t)) => {
+                assert!(matches!(
+                    t.cause,
+                    com_core::MachineError::BadOperands { .. }
+                ));
+            }
+            other => panic!("expected BadOperands trap, got {other:?}"),
+        }
+    });
+}
+
+#[test]
+fn uninit_operand_then_reuse_matches_fresh_session() {
+    let vm = vm();
+    assert_reuse_matches_fresh(&vm, "uninit", |s| {
+        // An unwritten temporary flows into dispatch: the receiver
+        // classes as UndefinedObject and the `+` fails lookup.
+        match s.send_raw("oops", Word::Int(3), &[], u64::MAX) {
+            Err(VmError::Trap(t)) => {
+                assert!(matches!(
+                    t.cause,
+                    com_core::MachineError::DoesNotUnderstand { .. }
+                ));
+            }
+            other => panic!("expected uninit-operand trap, got {other:?}"),
+        }
+    });
+}
+
+#[test]
+fn out_of_fuel_then_reuse_matches_fresh_session() {
+    let vm = vm();
+    assert_reuse_matches_fresh(&vm, "fuel", |s| {
+        match s.send_raw("tri", Word::Int(10_000), &[], 25) {
+            Err(VmError::OutOfFuel { budget: 25 }) => {}
+            other => panic!("expected OutOfFuel, got {other:?}"),
+        }
+    });
+}
+
+#[test]
+fn budget_exhaustion_then_cancel_matches_fresh_session() {
+    let vm = vm();
+    assert_reuse_matches_fresh(&vm, "cancel", |s| {
+        s.call_start("tri", 10_000i64).unwrap();
+        assert!(matches!(
+            s.resume::<i64>(25).unwrap(),
+            Outcome::<i64>::Yielded
+        ));
+        s.cancel();
+    });
+}
+
+#[test]
+fn resumable_trap_surfaces_with_partial_stats_and_session_survives() {
+    let vm = vm();
+    let mut s = vm.session().unwrap();
+    s.call_start("boom", 5i64).unwrap();
+    let err = loop {
+        match s.resume::<i64>(3) {
+            Ok(Outcome::Yielded) => {}
+            Ok(Outcome::Done(_)) => panic!("boom must trap"),
+            Err(e) => break e,
+        }
+    };
+    match err {
+        VmError::Trap(t) => {
+            assert!(matches!(
+                t.cause,
+                com_core::MachineError::BadOperands { .. }
+            ));
+            // Partial stats are the *call's* delta, not the session's
+            // cumulative counters — and the faulting instruction counts.
+            assert!(t.stats.instructions > 0);
+            assert_eq!(t.stats.instructions, s.stats().instructions);
+        }
+        other => panic!("expected Trap, got {other:?}"),
+    }
+    assert!(!s.in_flight());
+    assert_eq!(s.call::<i64>("tri", 4).unwrap(), 10);
+}
+
+#[test]
+fn dnu_handler_answers_through_the_facade() {
+    // The acceptance path: a handler installed on a class catches a
+    // failed *entry* send (zero-format reification) and the program
+    // continues to a self-checked answer.
+    let vm = vm();
+    let mut s = vm.session().unwrap();
+    let catcher_class = vm.image().image().classes.by_name("Catcher").unwrap();
+    let obj = s
+        .machine_mut()
+        .space_mut()
+        .create(
+            com_mem::TeamId(0),
+            catcher_class,
+            1,
+            com_mem::AllocKind::Object,
+        )
+        .unwrap();
+    // `foo` is interned; Catcher does not define it; the handler answers
+    // 39 + the reified nargs (a no-argument entry send transmits only
+    // the receiver: nargs = 1).
+    let out = s.send_raw("foo", Word::Ptr(obj), &[], u64::MAX).unwrap();
+    assert_eq!(out.result, Word::Int(40));
+    assert_eq!(out.stats.soft_traps, 1);
+    // With an argument the same handler sees nargs = 2.
+    let out = s
+        .send_raw("foo", Word::Ptr(obj), &[Word::Int(7)], u64::MAX)
+        .unwrap();
+    assert_eq!(out.result, Word::Int(41));
+    // A plain `Other` still answers `foo` the ordinary way.
+    let other_class = vm.image().image().classes.by_name("Other").unwrap();
+    let other = s
+        .machine_mut()
+        .space_mut()
+        .create(
+            com_mem::TeamId(0),
+            other_class,
+            1,
+            com_mem::AllocKind::Object,
+        )
+        .unwrap();
+    assert_eq!(
+        s.send_raw("foo", Word::Ptr(other), &[], u64::MAX)
+            .unwrap()
+            .result,
+        Word::Int(11)
+    );
+}
+
+/// Solo baselines: (result, per-call CycleStats) for `tri` tenants.
+fn solo_baselines(vm: &Vm, sizes: &[i64]) -> Vec<(Word, CycleStats)> {
+    sizes
+        .iter()
+        .map(|n| {
+            let mut s = vm.session().unwrap();
+            let _ = s.call::<i64>("tri", *n).unwrap();
+            let run = s.last_run().unwrap();
+            (run.result, run.stats)
+        })
+        .collect()
+}
+
+#[test]
+fn scheduler_tenant_trap_leaves_other_tenants_bit_identical() {
+    let vm = vm();
+    let sizes = [6i64, 11, 17, 23];
+    let solos = solo_baselines(&vm, &sizes);
+
+    let mut sched = Scheduler::new(13);
+    let mut ids = Vec::new();
+    // The trapping tenant is spawned *first* so its mid-schedule trap
+    // precedes every other tenant's remaining slices.
+    let mut bad = vm.session().unwrap();
+    bad.call_start("boom", 3i64).unwrap();
+    let bad_id = sched.spawn(bad).unwrap();
+    for n in sizes {
+        let mut s = vm.session().unwrap();
+        s.call_start("tri", n).unwrap();
+        ids.push(sched.spawn(s).unwrap());
+    }
+    sched.run();
+    match sched.error(bad_id) {
+        Some(VmError::Trap(t)) => assert!(t.stats.instructions > 0),
+        other => panic!("expected the boom tenant to trap, got {other:?}"),
+    }
+    for (i, id) in ids.iter().enumerate() {
+        let run = sched.session(*id).unwrap().last_run().unwrap();
+        assert_eq!(run.result, solos[i].0);
+        assert_eq!(
+            run.stats, solos[i].1,
+            "tenant {i}: a sibling's trap changed its statistics"
+        );
+    }
+}
+
+#[test]
+fn pool_tenant_trap_leaves_other_tenants_bit_identical() {
+    let vm = vm();
+    let sizes = [6i64, 11, 17, 23, 29, 35];
+    let solos = solo_baselines(&vm, &sizes);
+
+    let mut sessions = Vec::new();
+    for n in sizes {
+        let mut s = vm.session().unwrap();
+        s.call_start("tri", n).unwrap();
+        sessions.push(s);
+    }
+    let mut bad = vm.session().unwrap();
+    bad.call_start("boom", 3i64).unwrap();
+    sessions.push(bad);
+
+    let runs = ParallelExecutor::new(4, 17).run(sessions);
+    match &runs.last().unwrap().error {
+        Some(VmError::Trap(t)) => assert!(t.stats.instructions > 0),
+        other => panic!("expected the boom tenant to trap, got {other:?}"),
+    }
+    for (i, solo) in solos.iter().enumerate() {
+        let run = runs[i].session.last_run().unwrap();
+        assert_eq!(run.result, solo.0);
+        assert_eq!(
+            run.stats, solo.1,
+            "tenant {i}: a sibling's trap changed its statistics"
+        );
+    }
+    // Trapped sessions keep serving: the pool hands the session back
+    // alive.
+    let mut revived = runs.into_iter().last().unwrap().session;
+    assert_eq!(revived.call::<i64>("tri", 4).unwrap(), 10);
+}

@@ -198,7 +198,7 @@ fn pool_reports_per_tenant_traps_without_disturbing_others() {
     let runs = ParallelExecutor::new(4, 500).run(sessions);
     let last = runs.last().unwrap();
     assert!(
-        matches!(last.error, Some(VmError::Machine(_))),
+        matches!(last.error, Some(VmError::Trap(_))),
         "the boom tenant must trap, got {:?}",
         last.error
     );

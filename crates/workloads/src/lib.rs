@@ -315,6 +315,49 @@ end
     com_only: false,
 };
 
+/// `dnu_proxy` — software trap dispatch: every `log:` send to the proxy
+/// fails method lookup and re-dispatches through the proxy's
+/// `doesNotUnderstand:` handler (which accumulates the reified
+/// arguments), and one divide-by-zero routes through `SmallInteger`'s
+/// `badOperands:` handler — the program runs *through* its traps to a
+/// closed-form answer. COM only: the Fith backend has no software trap
+/// dispatch, so its traps stay terminal.
+///
+/// Self-check for size n: the i-th failed `log:` returns the running sum
+/// `T_i = i(i+1)/2`, so the loop accumulates `Σ T_i = n(n+1)(n+2)/6`;
+/// `count` adds n; the handled divide-by-zero adds 1 000 000.
+pub const DNU_PROXY: Workload = Workload {
+    name: "dnu_proxy",
+    description: "doesNotUnderstand:/badOperands: handlers carry the program through its traps",
+    source: r#"
+class Proxy extends Object
+  vars count sum
+  method initProxy count := 0. sum := 0. ^self end
+  method count ^count end
+  method doesNotUnderstand: msg
+    count := count + 1.
+    sum := sum + (msg rawAt: 2).
+    ^sum
+  end
+end
+class SmallInteger
+  method badOperands: msg ^1000000 end
+  method dnuBench | p acc |
+    p := Proxy new initProxy.
+    acc := 0.
+    1 to: self do: [ :i | acc := acc + (p log: i) ].
+    acc := acc + p count.
+    acc := acc + (7 / (self - self)).
+    ^acc
+  end
+end
+"#,
+    entry: "dnuBench",
+    size: 60,
+    expected: 1_037_880, // 60*61*62/6 + 60 + 1_000_000
+    com_only: true,
+};
+
 /// `calls` — doubly recursive Fibonacci: maximal call/return density for
 /// the context cache and call-cost experiments.
 pub const CALLS: Workload = Workload {
@@ -433,6 +476,7 @@ pub fn all() -> Vec<Workload> {
         IMAGE,
         CLOSURES,
         CHURN,
+        DNU_PROXY,
         CALLS,
         SCHEDULER,
     ]
@@ -583,6 +627,33 @@ mod tests {
             let (fith, _) = run_fith(&w, MAX_STEPS).unwrap();
             assert_eq!(com.result, fith.result, "{}: COM and Fith disagree", w.name);
         }
+    }
+
+    #[test]
+    fn dnu_proxy_routes_traps_through_handlers_on_both_interpreter_loops() {
+        // Threaded loop, via the facade.
+        let (out, _) = run_com(&DNU_PROXY, MachineConfig::default(), MAX_STEPS).unwrap();
+        assert_eq!(out.result, Word::Int(DNU_PROXY.expected));
+        // Every log: send plus the divide-by-zero dispatched in software.
+        assert_eq!(out.stats.soft_traps, DNU_PROXY.size as u64 + 1);
+        // Reference loop: a fresh session over the same image, driven by
+        // the single-step interpreter. Bit-identical or the two loops'
+        // dispatch-handler behavior silently diverged.
+        let vm = vm_for(
+            &DNU_PROXY,
+            MachineConfig::default(),
+            CompileOptions::default(),
+        );
+        let mut s = vm.session().unwrap();
+        let m = s.machine_mut();
+        let sel = m.opcodes().get(DNU_PROXY.entry).unwrap();
+        m.start_send(sel, Word::Int(DNU_PROXY.size), &[]).unwrap();
+        let b = m.run_stepwise(MAX_STEPS).unwrap();
+        assert_eq!(b.result, out.result);
+        assert_eq!(
+            b.stats, out.stats,
+            "dnu_proxy diverged between run and run_stepwise"
+        );
     }
 
     #[test]
