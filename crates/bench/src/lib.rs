@@ -7,6 +7,7 @@
 pub mod gc;
 pub mod interp;
 pub mod parallel;
+pub mod server;
 pub mod sessions;
 
 use com_trace::Trace;

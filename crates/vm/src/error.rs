@@ -32,6 +32,12 @@ impl core::fmt::Display for Trap {
     }
 }
 
+impl std::error::Error for Trap {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.cause)
+    }
+}
+
 /// Everything that can go wrong at the embedding boundary, in one type:
 /// compilation, machine traps, and the facade's own conditions (type
 /// mismatches at the typed-call boundary, protocol misuse of the
@@ -77,12 +83,41 @@ pub enum VmError {
     /// driving it further could never finish it — a zero-instruction
     /// slice, or a wedged machine. The [`Scheduler`](crate::Scheduler)
     /// and [`ParallelExecutor`](crate::ParallelExecutor) report this
-    /// instead of spinning forever.
+    /// instead of spinning forever. Classified **retry-safe** by
+    /// [`RetryPolicy`](crate::server::RetryPolicy): a fresh attempt gets
+    /// a fresh slice and may well complete.
     Stalled {
         /// The per-resume instruction budget in force when progress
         /// stopped.
         slice: u64,
     },
+    /// A worker thread panicked while driving a slice of this tenant's
+    /// call — an engine invariant violation or an injected fault
+    /// ([`FaultPlan`](crate::server::FaultPlan)), never an ordinary
+    /// program trap (those surface as [`VmError::Trap`]). The panic was
+    /// **contained to the tenant**: the driving executor
+    /// ([`ParallelExecutor`](crate::ParallelExecutor) or the
+    /// [`server`](crate::server) runtime) caught it, cancelled the
+    /// in-flight call, and both the session and every sibling tenant
+    /// remain serviceable. Classified **retry-safe** by
+    /// [`RetryPolicy`](crate::server::RetryPolicy) — a panic is
+    /// transient by definition — though the server still refuses to
+    /// retry non-idempotent in-flight calls.
+    EnginePanic {
+        /// The panic payload, rendered to text.
+        message: String,
+    },
+}
+
+/// Renders a caught panic payload for [`VmError::EnginePanic`].
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 impl From<CompileError> for VmError {
@@ -150,6 +185,9 @@ impl core::fmt::Display for VmError {
                     "call stalled: a {slice}-instruction slice retired nothing and can never finish"
                 )
             }
+            VmError::EnginePanic { message } => {
+                write!(f, "engine panic while driving the call: {message}")
+            }
         }
     }
 }
@@ -214,5 +252,100 @@ mod tests {
         assert!(e.to_string().contains("i64"));
         let e = VmError::OutOfFuel { budget: 100 };
         assert!(e.to_string().contains("100"));
+    }
+
+    /// The stable, matchable fragment each variant's `Display` text must
+    /// contain. The match is exhaustive on purpose: adding a `VmError`
+    /// variant without extending the Display contract (server logs and
+    /// retry classification grep for these) fails to compile here.
+    fn display_fragment(e: &VmError) -> &'static str {
+        match e {
+            VmError::Compile(_) => "compile error",
+            VmError::Machine(_) => "machine refused the call",
+            VmError::Trap(_) => "machine trap unwound the call",
+            VmError::Type { .. } => "does not convert to",
+            VmError::UnknownSelector(_) => "unknown selector",
+            VmError::OutOfFuel { .. } => "did not complete within",
+            VmError::NoCallInProgress => "no call in progress",
+            VmError::CallInProgress => "already in progress",
+            VmError::Stalled { .. } => "call stalled",
+            VmError::EnginePanic { .. } => "engine panic",
+        }
+    }
+
+    /// One constructed sample of every `VmError` variant.
+    fn samples() -> Vec<VmError> {
+        let compile = match com_stc::compile_com("class", com_stc::CompileOptions::default()) {
+            Err(e) => e,
+            Ok(_) => panic!("malformed source must not compile"),
+        };
+        let stats = CycleStats {
+            instructions: 3,
+            ..CycleStats::default()
+        };
+        vec![
+            VmError::Compile(compile),
+            VmError::Machine(MachineError::NoContext),
+            VmError::Trap(Box::new(Trap {
+                cause: MachineError::BadOperands {
+                    opcode: com_isa::Opcode::DIV,
+                    reason: "division by zero",
+                },
+                stats,
+            })),
+            VmError::Type {
+                expected: "i64",
+                got: Word::Atom(com_mem::AtomId(1)),
+            },
+            VmError::UnknownSelector("frob".into()),
+            VmError::OutOfFuel { budget: 7 },
+            VmError::NoCallInProgress,
+            VmError::CallInProgress,
+            VmError::Stalled { slice: 9 },
+            VmError::EnginePanic {
+                message: "boom".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn every_variant_displays_its_stable_fragment() {
+        for e in samples() {
+            let text = e.to_string();
+            assert!(
+                text.contains(display_fragment(&e)),
+                "{e:?} renders {text:?} without its stable fragment"
+            );
+            // Display text is one line: log records stay grep-able.
+            assert!(!text.contains('\n'), "{e:?} renders multiple lines");
+        }
+    }
+
+    #[test]
+    fn source_chains_reach_the_underlying_cause() {
+        use std::error::Error;
+        for e in samples() {
+            match &e {
+                // Wrapping variants expose the cause through source().
+                VmError::Compile(_) | VmError::Machine(_) | VmError::Trap(_) => {
+                    assert!(e.source().is_some(), "{e:?} lost its source");
+                }
+                // Facade-originated conditions are the root cause.
+                _ => assert!(e.source().is_none(), "{e:?} fabricated a source"),
+            }
+        }
+        // Trap itself chains to the machine error, two levels deep.
+        let trap = Trap {
+            cause: MachineError::Mem(com_mem::MemError::UnknownTeam(com_mem::TeamId(1))),
+            stats: CycleStats::default(),
+        };
+        assert!(trap.source().unwrap().source().is_some());
+    }
+
+    #[test]
+    fn panic_payloads_render_to_text() {
+        assert_eq!(panic_message(&"static str"), "static str");
+        assert_eq!(panic_message(&String::from("owned")), "owned");
+        assert_eq!(panic_message(&42_u32), "non-string panic payload");
     }
 }

@@ -24,6 +24,12 @@
 //!   across a fixed pool of worker threads — same yield cadence, same
 //!   bit-identical per-tenant results and statistics, N tenants on M
 //!   cores.
+//! * Execution is **supervised**: the [`server`] module wraps the pool
+//!   in a long-lived service runtime — bounded admission with typed
+//!   backpressure, per-request deadlines, per-tenant fuel budgets and
+//!   weighted fair scheduling, retry with capped backoff, overload
+//!   shedding, a drain that never loses a session, and a deterministic
+//!   fault-injection harness ([`server::FaultPlan`]) to prove all of it.
 //!
 //! # Thread safety
 //!
@@ -81,6 +87,7 @@ mod convert;
 mod error;
 mod pool;
 mod sched;
+pub mod server;
 mod session;
 
 pub use convert::{FromWord, ToWord};

@@ -23,13 +23,21 @@
 //! [`CycleStats`]: com_core::CycleStats
 
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Condvar, Mutex};
 use std::time::Duration;
 
 use com_mem::Word;
 
+use crate::error::panic_message;
 use crate::{FromWord, Outcome, Session, VmError};
+
+/// A pre-slice hook for fault injection: called with (tenant index,
+/// slices so far) before every resume; a panicking hook lands on the
+/// worker exactly like an engine panic would. Tests and the fault
+/// harness use it to prove panic containment.
+pub(crate) type SliceHook<'a> = &'a (dyn Fn(usize, u64) + Sync);
 
 /// One tenant drained by [`ParallelExecutor::run`], returned in spawn
 /// order.
@@ -43,12 +51,13 @@ pub struct TenantRun {
     pub session: Session,
     /// The raw result word, if the call completed.
     pub result: Option<Word>,
-    /// The error that ended the call, if it trapped (or stalled):
-    /// [`VmError::Trap`](crate::VmError::Trap) carries the cause plus the
-    /// unwound call's partial [`CycleStats`](com_core::CycleStats). A
-    /// tenant's trap never
-    /// disturbs a sibling — every other tenant's results and statistics
-    /// stay bit-identical to solo runs.
+    /// The error that ended the call, if it trapped (or stalled, or its
+    /// worker panicked): [`VmError::Trap`](crate::VmError::Trap) carries
+    /// the cause plus the unwound call's partial
+    /// [`CycleStats`](com_core::CycleStats); a caught worker panic
+    /// surfaces as [`VmError::EnginePanic`](crate::VmError::EnginePanic).
+    /// A tenant's failure never disturbs a sibling — every other
+    /// tenant's results and statistics stay bit-identical to solo runs.
     pub error: Option<VmError>,
     /// Resume slices the tenant consumed.
     pub slices: u64,
@@ -171,21 +180,38 @@ impl ParallelExecutor {
     /// another, and **no session is ever lost** — every one comes back
     /// in the returned runs.
     ///
-    /// # Panics
-    ///
-    /// Panics if a worker thread panics (a machine invariant violation,
-    /// not a program trap — traps are per-tenant errors).
+    /// Even a **panic** on a worker thread is contained per tenant: the
+    /// slice is wrapped in `catch_unwind`, the panicking tenant's call
+    /// is cancelled and reported as [`VmError::EnginePanic`], and every
+    /// other tenant (including those queued on the panicking worker)
+    /// drains normally — one wedged tenant cannot poison the pool.
     pub fn run(&self, sessions: Vec<Session>) -> Vec<TenantRun> {
         self.run_counting_steals(sessions).0
     }
 
     /// [`run`](Self::run), also returning the total successful steals —
     /// tests and the bench use it to show the stealing path is real.
-    ///
-    /// # Panics
-    ///
-    /// As [`run`](Self::run).
     pub fn run_counting_steals(&self, sessions: Vec<Session>) -> (Vec<TenantRun>, u64) {
+        self.run_inner(sessions, None)
+    }
+
+    /// [`run_counting_steals`](Self::run_counting_steals) with a fault
+    /// hook invoked before every slice (see [`SliceHook`]) — the panic
+    /// containment tests drive injected panics through it.
+    #[cfg(test)]
+    pub(crate) fn run_hooked(
+        &self,
+        sessions: Vec<Session>,
+        hook: SliceHook<'_>,
+    ) -> (Vec<TenantRun>, u64) {
+        self.run_inner(sessions, Some(hook))
+    }
+
+    fn run_inner(
+        &self,
+        sessions: Vec<Session>,
+        hook: Option<SliceHook<'_>>,
+    ) -> (Vec<TenantRun>, u64) {
         let total = sessions.len();
         if total == 0 {
             return (Vec::new(), 0);
@@ -239,7 +265,7 @@ impl ParallelExecutor {
                 let shared = &shared;
                 let tx = tx.clone();
                 let slice = self.slice;
-                scope.spawn(move || worker_loop(w, slice, shared, &tx));
+                scope.spawn(move || worker_loop(w, slice, shared, &tx, hook));
             }
             drop(tx);
             // Every task leaves the pool exactly once; when the last
@@ -266,7 +292,13 @@ impl ParallelExecutor {
 
 /// One worker: claim a task (own deque, then injector, then steal), give
 /// it one slice, route it back into the pool or out through the channel.
-fn worker_loop(w: usize, slice: u64, shared: &Shared, tx: &mpsc::Sender<Finished>) {
+fn worker_loop(
+    w: usize,
+    slice: u64,
+    shared: &Shared,
+    tx: &mpsc::Sender<Finished>,
+    hook: Option<SliceHook<'_>>,
+) {
     loop {
         if shared.remaining.load(Ordering::Acquire) == 0 {
             return;
@@ -291,15 +323,24 @@ fn worker_loop(w: usize, slice: u64, shared: &Shared, tx: &mpsc::Sender<Finished
         }
         task.last_worker = Some(w);
         task.slices += 1;
-        match task.session.resume_raw_guarded(slice) {
-            Ok(Outcome::Yielded) => {
+        // Contain panics to the tenant: an engine invariant violation (or
+        // an injected fault) must not unwind into the scoped pool, where
+        // it would poison every lock and abort the whole drain.
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            if let Some(h) = hook {
+                h(task.index, task.slices);
+            }
+            task.session.resume_raw_guarded(slice)
+        }));
+        match outcome {
+            Ok(Ok(Outcome::Yielded)) => {
                 shared.locals[w]
                     .lock()
                     .expect("local deque lock")
                     .push_back(task);
                 shared.wake.notify_one();
             }
-            Ok(Outcome::Done(word)) => finish(
+            Ok(Ok(Outcome::Done(word))) => finish(
                 shared,
                 tx,
                 Finished {
@@ -310,7 +351,7 @@ fn worker_loop(w: usize, slice: u64, shared: &Shared, tx: &mpsc::Sender<Finished
             ),
             // Includes Stalled: a yield that retired nothing (zero
             // slice, or a wedged machine) would requeue forever.
-            Err(e) => finish(
+            Ok(Err(e)) => finish(
                 shared,
                 tx,
                 Finished {
@@ -319,6 +360,22 @@ fn worker_loop(w: usize, slice: u64, shared: &Shared, tx: &mpsc::Sender<Finished
                     error: Some(e),
                 },
             ),
+            Err(payload) => {
+                let message = panic_message(&*payload);
+                // Abandon the interrupted call so the session comes back
+                // re-callable; if the machine is wedged enough that even
+                // the unwind panics, still hand the session back.
+                let _ = catch_unwind(AssertUnwindSafe(|| task.session.cancel()));
+                finish(
+                    shared,
+                    tx,
+                    Finished {
+                        task,
+                        result: None,
+                        error: Some(VmError::EnginePanic { message }),
+                    },
+                );
+            }
         }
     }
 }
@@ -370,5 +427,103 @@ fn finish(shared: &Shared, tx: &mpsc::Sender<Finished>, fin: Finished) {
     tx.send(fin).expect("result channel open");
     if shared.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
         shared.wake.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::FaultPlan;
+    use crate::Vm;
+
+    const TRI: &str = r#"
+        class SmallInteger
+          method tri | acc |
+            acc := 0. 1 to: self do: [ :i | acc := acc + i ]. ^acc
+          end
+        end
+    "#;
+
+    /// Satellite regression (ISSUE 6): a worker panic is contained to
+    /// its tenant — the panicking tenant comes back with
+    /// `VmError::EnginePanic` and a serviceable session, and every
+    /// sibling drains bit-identically to solo.
+    #[test]
+    fn worker_panic_is_contained_per_tenant() {
+        FaultPlan::silence_injected_panics();
+        let vm = Vm::new(TRI).unwrap();
+        let sizes = [9i64, 14, 21, 33, 47];
+        let solos: Vec<_> = sizes
+            .iter()
+            .map(|n| {
+                let mut s = vm.session().unwrap();
+                let _ = s.call::<i64>("tri", *n).unwrap();
+                let run = s.last_run().unwrap();
+                (run.result, run.stats)
+            })
+            .collect();
+
+        let mut sessions = Vec::new();
+        for n in sizes {
+            let mut s = vm.session().unwrap();
+            s.call_start("tri", n).unwrap();
+            sessions.push(s);
+        }
+        // The panicking tenant: a perfectly healthy call whose second
+        // slice is interrupted by an injected worker panic.
+        let mut bad = vm.session().unwrap();
+        bad.call_start("tri", 10_000i64).unwrap();
+        sessions.push(bad);
+        let bad_index = sessions.len() - 1;
+
+        let pool = ParallelExecutor::new(3, 17);
+        let (runs, _) = pool.run_hooked(sessions, &move |index, slices| {
+            if index == bad_index && slices == 2 {
+                panic!("{}", crate::server::injector::INJECTED_PANIC);
+            }
+        });
+
+        match &runs[bad_index].error {
+            Some(VmError::EnginePanic { message }) => {
+                assert!(message.contains("injected worker panic"));
+            }
+            other => panic!("expected EnginePanic, got {other:?}"),
+        }
+        assert_eq!(runs[bad_index].result, None);
+        for (i, solo) in solos.iter().enumerate() {
+            assert_eq!(runs[i].error, None, "sibling {i} disturbed");
+            assert_eq!(runs[i].result, Some(solo.0));
+            assert_eq!(
+                runs[i].session.last_run().unwrap().stats,
+                solo.1,
+                "sibling {i}: a worker panic changed its statistics"
+            );
+        }
+        // The panicked tenant's session is cancelled and re-callable.
+        let mut revived = runs.into_iter().nth(bad_index).unwrap().session;
+        assert!(!revived.in_flight());
+        assert_eq!(revived.call::<i64>("tri", 4).unwrap(), 10);
+    }
+
+    /// Every tenant panicking at once still drains the pool: no lock is
+    /// poisoned, every session comes back.
+    #[test]
+    fn all_tenants_panicking_does_not_wedge_the_pool() {
+        FaultPlan::silence_injected_panics();
+        let vm = Vm::new(TRI).unwrap();
+        let mut sessions = Vec::new();
+        for _ in 0..6 {
+            let mut s = vm.session().unwrap();
+            s.call_start("tri", 10_000i64).unwrap();
+            sessions.push(s);
+        }
+        let pool = ParallelExecutor::new(2, 25);
+        let (runs, _) = pool.run_hooked(sessions, &|_, _| {
+            panic!("{}", crate::server::injector::INJECTED_PANIC);
+        });
+        assert_eq!(runs.len(), 6, "a session was lost");
+        for run in runs {
+            assert!(matches!(run.error, Some(VmError::EnginePanic { .. })));
+        }
     }
 }

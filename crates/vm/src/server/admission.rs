@@ -1,0 +1,387 @@
+//! The admission boundary: requests in, typed responses (or typed
+//! rejections) out.
+
+use std::sync::mpsc;
+use std::time::Duration;
+
+use com_core::CycleStats;
+use com_mem::Word;
+
+use crate::{FromWord, ToWord, VmError};
+
+/// Shed ordering under overload: when the admission queue is full, a
+/// newly submitted request may evict a *strictly lower-priority* queued
+/// request (which is rejected with [`ServeError::Shed`]) instead of
+/// being refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Priority {
+    /// First to be shed.
+    Low,
+    /// The default.
+    #[default]
+    Normal,
+    /// Never shed in favour of lower classes.
+    High,
+}
+
+/// One typed call to submit against a named session: selector, receiver,
+/// arguments, and the request's service envelope (priority, deadline,
+/// fuel override, idempotency).
+///
+/// ```
+/// use com_vm::server::{Priority, Request};
+/// use std::time::Duration;
+///
+/// let req = Request::new("factorial", 12i64)
+///     .priority(Priority::High)
+///     .deadline(Duration::from_millis(50))
+///     .idempotent(true);
+/// # let _ = req;
+/// ```
+#[derive(Debug, Clone)]
+pub struct Request {
+    pub(crate) selector: String,
+    pub(crate) receiver: Word,
+    pub(crate) args: Vec<Word>,
+    pub(crate) priority: Priority,
+    pub(crate) deadline: Option<Duration>,
+    pub(crate) fuel: Option<u64>,
+    pub(crate) idempotent: bool,
+}
+
+impl Request {
+    /// A [`Priority::Normal`], no-deadline, non-idempotent request
+    /// sending `selector` to `receiver`.
+    pub fn new(selector: &str, receiver: impl ToWord) -> Request {
+        Request {
+            selector: selector.to_string(),
+            receiver: receiver.to_word(),
+            args: Vec::new(),
+            priority: Priority::Normal,
+            deadline: None,
+            fuel: None,
+            idempotent: false,
+        }
+    }
+
+    /// Appends an argument.
+    pub fn arg(mut self, arg: impl ToWord) -> Request {
+        self.args.push(arg.to_word());
+        self
+    }
+
+    /// Sets the shed class (default [`Priority::Normal`]).
+    pub fn priority(mut self, priority: Priority) -> Request {
+        self.priority = priority;
+        self
+    }
+
+    /// Sets a deadline relative to submission. Checked at every slice
+    /// boundary; an expired request is unwound and rejected with
+    /// [`ServeError::DeadlineExceeded`] — including while still queued.
+    pub fn deadline(mut self, deadline: Duration) -> Request {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Overrides the tenant's
+    /// [`fuel_per_request`](crate::server::TenantConfig::fuel_per_request)
+    /// for this request only.
+    pub fn fuel(mut self, fuel: u64) -> Request {
+        self.fuel = Some(fuel);
+        self
+    }
+
+    /// Declares the call idempotent: safe to re-run even after a failed
+    /// attempt already retired instructions. Non-idempotent requests
+    /// (the default) are only retried when the failed attempt never
+    /// executed — see [`RetryPolicy`](crate::server::RetryPolicy).
+    pub fn idempotent(mut self, idempotent: bool) -> Request {
+        self.idempotent = idempotent;
+        self
+    }
+}
+
+/// Why a submitted request was not served. Every admitted request
+/// terminates in exactly one [`Response`]; this is its failure side.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The call failed in the machine (trap, unknown selector, fuel
+    /// exhaustion, stall, contained panic) and the
+    /// [`RetryPolicy`](crate::server::RetryPolicy) either classified it
+    /// non-retryable or ran out of attempts.
+    Vm(VmError),
+    /// The request's deadline passed — while queued or between slices —
+    /// and the call was unwound.
+    DeadlineExceeded {
+        /// Time from submission to rejection.
+        waited: Duration,
+    },
+    /// The request was evicted from a full admission queue to make room
+    /// for higher-priority work.
+    Shed {
+        /// The evicted request's own priority class.
+        priority: Priority,
+    },
+    /// Server shutdown cancelled the request (queued or mid-call) before
+    /// it completed.
+    Cancelled,
+}
+
+impl core::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ServeError::Vm(e) => write!(f, "request failed: {e}"),
+            ServeError::DeadlineExceeded { waited } => {
+                write!(
+                    f,
+                    "request missed its deadline ({}µs after submission)",
+                    waited.as_micros()
+                )
+            }
+            ServeError::Shed { priority } => {
+                write!(f, "request shed under overload (priority {priority:?})")
+            }
+            ServeError::Cancelled => write!(f, "request cancelled by server shutdown"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Vm(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// Why a request was refused *at the door* (never admitted, no
+/// [`Ticket`] issued).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The admission queue is at its configured depth and the request
+    /// outranked nothing sheddable. Backpressure: slow down, or use
+    /// [`submit_within`](crate::server::Server::submit_within).
+    QueueFull {
+        /// The configured depth that was hit.
+        depth: usize,
+    },
+    /// [`submit_within`](crate::server::Server::submit_within) found no
+    /// queue space within its wait budget.
+    Timeout {
+        /// How long the submitter waited.
+        waited: Duration,
+    },
+    /// No tenant of that name was ever
+    /// [registered](crate::server::Server::register).
+    UnknownTenant(
+        /// The unknown name.
+        String,
+    ),
+    /// The server is draining and admits nothing new.
+    ShuttingDown,
+}
+
+impl core::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SubmitError::QueueFull { depth } => {
+                write!(f, "admission queue full (configured depth {depth})")
+            }
+            SubmitError::Timeout { waited } => {
+                write!(
+                    f,
+                    "no admission-queue space within {}µs",
+                    waited.as_micros()
+                )
+            }
+            SubmitError::UnknownTenant(name) => write!(f, "unknown tenant {name:?}"),
+            SubmitError::ShuttingDown => write!(f, "server is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// The terminal record of one admitted request: success word or typed
+/// failure, plus honest accounting.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// The tenant the request ran against.
+    pub tenant: String,
+    /// The request's per-tenant sequence number (0-based submission
+    /// order — the same key a [`FaultPlan`](crate::server::FaultPlan)
+    /// uses).
+    pub request: u64,
+    /// The result word, or the typed reason the request failed.
+    pub outcome: Result<Word, ServeError>,
+    /// [`CycleStats`] delta of the final attempt — the work this request
+    /// actually performed, partial if it was unwound mid-call.
+    pub stats: CycleStats,
+    /// Attempts consumed (1 = no retries).
+    pub attempts: u32,
+    /// Submission-to-response wall time.
+    pub latency: Duration,
+}
+
+impl Response {
+    /// The success result converted to `R`.
+    ///
+    /// # Errors
+    ///
+    /// The request's own [`ServeError`] if it failed, or
+    /// [`ServeError::Vm`]`(`[`VmError::Type`]`)` if the result word does
+    /// not convert.
+    pub fn result_as<R: FromWord>(&self) -> Result<R, ServeError> {
+        let word = self.outcome.clone()?;
+        R::from_word(word).map_err(ServeError::Vm)
+    }
+
+    /// Whether the request completed with a result.
+    pub fn is_ok(&self) -> bool {
+        self.outcome.is_ok()
+    }
+
+    pub(crate) fn cancelled(tenant: String, request: u64) -> Response {
+        Response {
+            tenant,
+            request,
+            outcome: Err(ServeError::Cancelled),
+            stats: CycleStats::default(),
+            attempts: 0,
+            latency: Duration::ZERO,
+        }
+    }
+}
+
+/// A claim on one admitted request's eventual [`Response`].
+///
+/// The server delivers exactly one response per admitted request — on
+/// completion, terminal failure, shed, or shutdown — so
+/// [`wait`](Self::wait) always returns. If the server is dropped
+/// without its drain path running (it cannot be, short of a crash), the
+/// closed channel is reported as a cancellation rather than a panic.
+#[derive(Debug)]
+pub struct Ticket {
+    pub(crate) rx: mpsc::Receiver<Response>,
+    pub(crate) tenant: String,
+    pub(crate) request: u64,
+}
+
+impl Ticket {
+    /// Blocks until the request's response arrives.
+    pub fn wait(self) -> Response {
+        self.rx
+            .recv()
+            .unwrap_or_else(|_| Response::cancelled(self.tenant, self.request))
+    }
+
+    /// The response if it has already arrived ([`None`] while the
+    /// request is still queued or running).
+    pub fn try_wait(&self) -> Option<Response> {
+        match self.rx.try_recv() {
+            Ok(r) => Some(r),
+            Err(mpsc::TryRecvError::Empty) => None,
+            Err(mpsc::TryRecvError::Disconnected) => {
+                Some(Response::cancelled(self.tenant.clone(), self.request))
+            }
+        }
+    }
+
+    /// The tenant this ticket's request ran against.
+    pub fn tenant(&self) -> &str {
+        &self.tenant
+    }
+
+    /// The request's per-tenant sequence number.
+    pub fn request(&self) -> u64 {
+        self.request
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn priority_orders_low_normal_high() {
+        assert!(Priority::Low < Priority::Normal);
+        assert!(Priority::Normal < Priority::High);
+        assert_eq!(Priority::default(), Priority::Normal);
+    }
+
+    #[test]
+    fn request_builder_accumulates() {
+        let r = Request::new("at:put:", 1i64)
+            .arg(2i64)
+            .arg(3i64)
+            .priority(Priority::Low)
+            .deadline(Duration::from_millis(5))
+            .fuel(100)
+            .idempotent(true);
+        assert_eq!(r.selector, "at:put:");
+        assert_eq!(r.args.len(), 2);
+        assert_eq!(r.priority, Priority::Low);
+        assert_eq!(r.deadline, Some(Duration::from_millis(5)));
+        assert_eq!(r.fuel, Some(100));
+        assert!(r.idempotent);
+    }
+
+    #[test]
+    fn serve_and_submit_errors_display_stable_fragments() {
+        use std::error::Error;
+        let e = ServeError::Vm(VmError::Stalled { slice: 4 });
+        assert!(e.to_string().contains("request failed"));
+        assert!(e.source().is_some(), "Vm wrapper must chain its source");
+        let e = ServeError::DeadlineExceeded {
+            waited: Duration::from_micros(250),
+        };
+        assert!(e.to_string().contains("missed its deadline"));
+        assert!(e.source().is_none());
+        let e = ServeError::Shed {
+            priority: Priority::Low,
+        };
+        assert!(e.to_string().contains("shed under overload"));
+        assert!(ServeError::Cancelled.to_string().contains("cancelled"));
+
+        assert!(SubmitError::QueueFull { depth: 8 }
+            .to_string()
+            .contains("queue full"));
+        assert!(SubmitError::Timeout {
+            waited: Duration::from_micros(9)
+        }
+        .to_string()
+        .contains("no admission-queue space"));
+        assert!(SubmitError::UnknownTenant("x".into())
+            .to_string()
+            .contains("unknown tenant"));
+        assert!(SubmitError::ShuttingDown
+            .to_string()
+            .contains("shutting down"));
+    }
+
+    #[test]
+    fn response_result_as_converts_or_propagates() {
+        let ok = Response {
+            tenant: "t".into(),
+            request: 0,
+            outcome: Ok(7i64.to_word()),
+            stats: CycleStats::default(),
+            attempts: 1,
+            latency: Duration::ZERO,
+        };
+        assert_eq!(ok.result_as::<i64>().unwrap(), 7);
+        assert!(ok.is_ok());
+        match ok.result_as::<f64>() {
+            Err(ServeError::Vm(VmError::Type { .. })) => {}
+            other => panic!("expected type error, got {other:?}"),
+        }
+        let failed = Response {
+            outcome: Err(ServeError::Cancelled),
+            ..ok
+        };
+        assert_eq!(failed.result_as::<i64>(), Err(ServeError::Cancelled));
+        assert!(!failed.is_ok());
+    }
+}

@@ -149,6 +149,96 @@ fn budget_exhaustion_then_cancel_matches_fresh_session() {
 }
 
 #[test]
+fn stalled_session_cancels_and_reuses_bit_identical_to_fresh() {
+    let vm = vm();
+    let mut fresh = vm.session().unwrap();
+    let boot_roots = fresh.machine().code_root_count();
+    let baseline = fresh.send_raw("tri", Word::Int(9), &[], u64::MAX).unwrap();
+
+    // A zero-instruction slice can never make progress: the scheduler's
+    // guard reports the task as Stalled instead of spinning forever.
+    let mut sched = Scheduler::new(0);
+    let mut s = vm.session().unwrap();
+    s.call_start("tri", 10_000i64).unwrap();
+    let id = sched.spawn(s).unwrap();
+    sched.run();
+    match sched.error(id) {
+        Some(VmError::Stalled { slice: 0 }) => {}
+        other => panic!("expected Stalled, got {other:?}"),
+    }
+    let mut s = sched.into_sessions().remove(0);
+    // The stalled call is still in flight; cancel unwinds it and the
+    // session serves again, bit-identical to a fresh one.
+    assert!(
+        s.in_flight(),
+        "a stalled call stays in flight until cancelled"
+    );
+    s.cancel();
+    assert_eq!(
+        s.machine().code_root_count(),
+        boot_roots,
+        "cancel after a stall must un-root the abandoned entry method"
+    );
+    let before = s.stats();
+    let out = s.send_raw("tri", Word::Int(9), &[], u64::MAX).unwrap();
+    assert_eq!(out.result, baseline.result);
+    assert_eq!(
+        out.stats.since(&before),
+        baseline.stats,
+        "post-stall reuse diverged from a fresh session"
+    );
+    s.machine_mut().collect_garbage().unwrap();
+    fresh.machine_mut().collect_garbage().unwrap();
+    assert_eq!(
+        s.space().memory().buddy().allocated_words(),
+        fresh.space().memory().buddy().allocated_words(),
+        "the stalled call graph stayed live across GC"
+    );
+}
+
+#[test]
+fn yield_then_drop_releases_the_in_flight_call() {
+    let vm = vm();
+    let mut fresh = vm.session().unwrap();
+    let boot_roots = fresh.machine().code_root_count();
+    fresh.machine_mut().collect_garbage().unwrap();
+    let fresh_live = fresh.space().memory().buddy().allocated_words();
+
+    let mut s = vm.session().unwrap();
+    s.call_start("tri", 10_000i64).unwrap();
+    assert!(matches!(
+        s.resume::<i64>(25).unwrap(),
+        Outcome::<i64>::Yielded
+    ));
+    assert!(
+        s.machine().code_root_count() > boot_roots,
+        "an in-flight call must hold its entry root"
+    );
+    // Cancel releases every code root; post-GC the heap matches a fresh
+    // session word for word.
+    s.cancel();
+    assert_eq!(s.machine().code_root_count(), boot_roots);
+    s.machine_mut().collect_garbage().unwrap();
+    assert_eq!(
+        s.space().memory().buddy().allocated_words(),
+        fresh_live,
+        "the abandoned call graph stayed live across GC"
+    );
+    // And dropping a session mid-resume takes the same path: no panic,
+    // and the shared image serves the next session unperturbed.
+    s.call_start("tri", 10_000i64).unwrap();
+    assert!(matches!(
+        s.resume::<i64>(25).unwrap(),
+        Outcome::<i64>::Yielded
+    ));
+    assert!(s.in_flight());
+    drop(s);
+    let mut after = vm.session().unwrap();
+    assert_eq!(after.call::<i64>("tri", 9).unwrap(), 45);
+    assert_eq!(after.machine().code_root_count(), boot_roots);
+}
+
+#[test]
 fn resumable_trap_surfaces_with_partial_stats_and_session_survives() {
     let vm = vm();
     let mut s = vm.session().unwrap();
