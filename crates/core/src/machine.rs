@@ -67,10 +67,11 @@ pub(crate) enum LowOperand {
     Next(u64),
     /// Constant, resolved against the method's constant table at decode.
     Imm(Word, ClassId),
-    /// Constant index beyond the method's table. Kept as a lowered form —
-    /// not a decode error — because the reference interpreter only traps
-    /// this if the instruction actually executes.
-    BadConst,
+    /// Constant index beyond the method's table (the index is carried for
+    /// the trap). Kept as a lowered form — not a decode error — because
+    /// the reference interpreter only traps this if the instruction
+    /// actually executes.
+    BadConst(u8),
 }
 
 /// A context-slot hazard source: (reads next context?, raw word offset).
@@ -105,7 +106,7 @@ impl LowInstr {
             Operand::Next(o) => LowOperand::Next(o as u64 + OPERAND_BIAS),
             Operand::Const(i) => match consts.get(i as usize) {
                 Some((w, c)) => LowOperand::Imm(*w, *c),
-                None => LowOperand::BadConst,
+                None => LowOperand::BadConst(i),
             },
         }
     }
@@ -820,10 +821,7 @@ impl Machine {
     #[inline(always)]
     fn ctx_read_raw(&mut self, next: bool, off: u64) -> Result<(Word, ClassId), MachineError> {
         if off >= CONTEXT_WORDS {
-            return Err(MachineError::BadOperands {
-                opcode: Opcode::MOVE,
-                reason: "context offset beyond 32 words",
-            });
+            return Err(MachineError::SlotOutOfRange { offset: off });
         }
         // Touch only the fields the chosen path needs — copying the whole
         // register out costs more than the cached read itself.
@@ -853,10 +851,7 @@ impl Machine {
         class: ClassId,
     ) -> Result<(), MachineError> {
         if off >= CONTEXT_WORDS {
-            return Err(MachineError::BadOperands {
-                opcode: Opcode::MOVE,
-                reason: "context offset beyond 32 words",
-            });
+            return Err(MachineError::SlotOutOfRange { offset: off });
         }
         if self.cc.is_some() {
             let reg = if next { &self.ncp } else { &self.cp };
@@ -1158,22 +1153,24 @@ impl Machine {
     fn decode_from_memory(&mut self, code: Fpa) -> Result<Decoded, MachineError> {
         let base = code.base();
         let t = self.space.translate(self.team, base)?;
-        let n_instrs = self
-            .space
-            .read_kind(self.team, base, AllocKind::Code)?
-            .as_int()
-            .ok_or(MachineError::BadMethod(code))? as u64;
-        let n_args = self
-            .space
-            .read_kind(self.team, base.with_offset(1)?, AllocKind::Code)?
-            .as_int()
-            .ok_or(MachineError::BadMethod(code))? as u8;
-        let n_consts = self
-            .space
-            .read_kind(self.team, base.with_offset(2)?, AllocKind::Code)?
-            .as_int()
-            .ok_or(MachineError::BadMethod(code))? as u64;
-        let mut instrs = Vec::with_capacity(n_instrs as usize);
+        // Header words come from memory, so a corrupted code object may
+        // carry any Int here: negative or oversized counts are a malformed
+        // method, not a cue to allocate unbounded buffers.
+        let header = |m: &mut Self, off: u64| -> Result<i64, MachineError> {
+            m.space
+                .read_kind(m.team, base.with_offset(off)?, AllocKind::Code)?
+                .as_int()
+                .ok_or(MachineError::BadMethod(code))
+        };
+        let n_instrs =
+            u64::try_from(header(self, 0)?).map_err(|_| MachineError::BadMethod(code))?;
+        let n_args = u8::try_from(header(self, 1)?).map_err(|_| MachineError::BadMethod(code))?;
+        let n_consts =
+            u64::try_from(header(self, 2)?).map_err(|_| MachineError::BadMethod(code))?;
+        // Oversized (but non-negative) counts fail at the first
+        // out-of-object read below; cap the pre-reservation so they cannot
+        // abort on allocation first.
+        let mut instrs = Vec::with_capacity(n_instrs.min(4096) as usize);
         for i in 0..n_instrs {
             let w = self.space.read_kind(
                 self.team,
@@ -1183,7 +1180,7 @@ impl Machine {
             let payload = w.as_instr().ok_or(MachineError::ExecutingData(w))?;
             instrs.push(Instr::decode(payload)?);
         }
-        let mut consts = Vec::with_capacity(n_consts as usize);
+        let mut consts = Vec::with_capacity(n_consts.min(4096) as usize);
         for i in 0..n_consts {
             let w = self.space.read_kind(
                 self.team,
@@ -1310,10 +1307,7 @@ impl Machine {
                     .consts
                     .get(i as usize)
                     .copied()
-                    .ok_or(MachineError::BadOperands {
-                        opcode: Opcode::MOVE,
-                        reason: "constant index beyond method constant table",
-                    })
+                    .ok_or(MachineError::ConstOutOfRange { index: i })
             }
         }
     }
@@ -1482,15 +1476,21 @@ impl Machine {
         match p {
             PrimOp::Fjmp | PrimOp::Rjmp => {
                 let taken = self.truthy(b.0)?;
+                // The displacement is an unsigned magnitude (direction is
+                // the opcode); a negative Int here is malformed code, not a
+                // huge forward jump.
                 let disp =
                     c.0.as_int()
-                        .ok_or_else(|| bad("jump displacement must be an integer"))?
+                        .filter(|d| *d >= 0)
+                        .ok_or_else(|| bad("jump displacement must be a non-negative integer"))?
                         as u64;
                 if taken {
                     self.stats.taken_branches += 1;
                     self.stats.branch_delay_cycles += 1;
                     if p == PrimOp::Fjmp {
-                        self.pc = self.pc + 1 + disp;
+                        self.pc = (self.pc + 1)
+                            .checked_add(disp)
+                            .ok_or_else(|| bad("forward jump target overflows"))?;
                     } else {
                         let target = (self.pc + 1)
                             .checked_sub(disp)
@@ -1680,7 +1680,15 @@ impl Machine {
                 match a {
                     Operand::Cur(o) => self.ctx_write(false, o as u64, value, class)?,
                     Operand::Next(o) => self.ctx_write(true, o as u64, value, class)?,
-                    Operand::Const(_) => unreachable!("validated at construction"),
+                    // Both the constructors and decode refuse constant-mode
+                    // destinations; a typed trap keeps even a hand-built
+                    // Instr from panicking the engine.
+                    Operand::Const(_) => {
+                        return Err(MachineError::BadOperands {
+                            opcode: instr.opcode(),
+                            reason: "constant-mode destination",
+                        })
+                    }
                 }
                 self.last_dest = self.operand_abs(a);
             }
@@ -2716,10 +2724,7 @@ impl Machine {
             LowOperand::Cur(off) => self.ctx_read_raw(false, off),
             LowOperand::Next(off) => self.ctx_read_raw(true, off),
             LowOperand::Imm(w, c) => Ok((w, c)),
-            LowOperand::BadConst => Err(MachineError::BadOperands {
-                opcode: Opcode::MOVE,
-                reason: "constant index beyond method constant table",
-            }),
+            LowOperand::BadConst(i) => Err(MachineError::ConstOutOfRange { index: i }),
         }
     }
 
@@ -2760,23 +2765,13 @@ impl Machine {
     }
 }
 
-/// Whether a primitive is a pure data operation (a function-unit result
-/// with no control or memory side effects) — the set `exec_primitive`
-/// routes to [`data_op`](crate::exec::data_op).
+/// Whether a primitive is a pure data operation — the set
+/// `exec_primitive` routes to [`data_op`](crate::exec::data_op). The
+/// classification lives on [`PrimOp::is_pure_data`] so the static
+/// verifier folds exactly the set the engine evaluates.
 #[inline]
 fn is_pure_data(p: PrimOp) -> bool {
-    !matches!(
-        p,
-        PrimOp::Fjmp
-            | PrimOp::Rjmp
-            | PrimOp::Xfer
-            | PrimOp::At
-            | PrimOp::AtPut
-            | PrimOp::Movea
-            | PrimOp::New
-            | PrimOp::Grow
-            | PrimOp::TagAs
-    )
+    p.is_pure_data()
 }
 
 #[cfg(test)]

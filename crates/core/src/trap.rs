@@ -81,6 +81,22 @@ pub enum MachineError {
     NoContext,
     /// A call or xfer targeted something that is not a code pointer.
     BadMethod(Fpa),
+    /// An operand named a context slot beyond the fixed context geometry
+    /// (`CONTEXT_WORDS`). A machine-integrity fault, not an operand-type
+    /// condition: it is **not** soft-dispatchable through a `badOperands:`
+    /// handler, and verified images can never raise it (the static
+    /// verifier rejects such methods at load).
+    SlotOutOfRange {
+        /// The faulting context slot (operand-biased offset).
+        offset: u64,
+    },
+    /// A constant-mode operand indexed past the method's constant table.
+    /// Like [`MachineError::SlotOutOfRange`], a machine-integrity fault
+    /// that verified images can never raise.
+    ConstOutOfRange {
+        /// The faulting constant index.
+        index: u8,
+    },
 }
 
 impl From<MemError> for MachineError {
@@ -140,6 +156,12 @@ impl core::fmt::Display for MachineError {
             MachineError::Halted(w) => write!(f, "halted with result {w}"),
             MachineError::NoContext => write!(f, "no active context"),
             MachineError::BadMethod(a) => write!(f, "call target {a} is not a method"),
+            MachineError::SlotOutOfRange { offset } => {
+                write!(f, "context slot offset {offset} beyond context geometry")
+            }
+            MachineError::ConstOutOfRange { index } => {
+                write!(f, "constant index {index} beyond method constant table")
+            }
         }
     }
 }

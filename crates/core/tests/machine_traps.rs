@@ -289,3 +289,84 @@ fn instruction_counts_balance_cycles() {
     let sum: u64 = s.breakdown().iter().map(|(_, c)| c).sum();
     assert_eq!(sum, s.total_cycles());
 }
+
+#[test]
+fn out_of_geometry_slot_traps_typed_not_panicking() {
+    // Operand offset 63 encodes but lies past the 32-word context: a
+    // machine-integrity fault with the offending offset, not a panic
+    // and not a soft-dispatchable badOperands:.
+    let img = image_with("wild", 1, |asm| {
+        asm.emit_three_ret(
+            Opcode::MOVE,
+            Operand::Cur(0),
+            Operand::Cur(63),
+            Operand::Cur(63),
+        )
+        .unwrap();
+    });
+    let mut m = machine(&img);
+    match m.send("wild", Word::Int(7), &[], 1000) {
+        Err(MachineError::SlotOutOfRange { offset }) => assert!(offset >= 32, "{offset}"),
+        other => panic!("expected SlotOutOfRange, got {other:?}"),
+    }
+}
+
+#[test]
+fn out_of_range_constant_traps_typed_not_panicking() {
+    // Constant index 9 with an empty table: the fetch must surface the
+    // index in a typed trap instead of indexing past the table.
+    let img = image_with("wildc", 1, |asm| {
+        asm.emit_three_ret(
+            Opcode::MOVE,
+            Operand::Cur(0),
+            Operand::Const(9),
+            Operand::Const(9),
+        )
+        .unwrap();
+    });
+    let mut m = machine(&img);
+    match m.send("wildc", Word::Int(7), &[], 1000) {
+        Err(MachineError::ConstOutOfRange { index: 9 }) => {}
+        other => panic!("expected ConstOutOfRange, got {other:?}"),
+    }
+}
+
+#[test]
+fn negative_jump_displacement_traps_typed() {
+    // A hand-built FJMP with a negative displacement constant must trap
+    // as BadOperands (displacement magnitudes are non-negative by
+    // construction), on both interpreters.
+    let img = image_with("negj", 1, |asm| {
+        let k = asm.intern_const(Word::Int(-3));
+        asm.emit_three(
+            Opcode::FJMP,
+            Operand::Cur(0),
+            Operand::Cur(1),
+            Operand::Const(k),
+        )
+        .unwrap();
+        asm.emit_three_ret(
+            Opcode::MOVE,
+            Operand::Cur(0),
+            Operand::Cur(1),
+            Operand::Cur(1),
+        )
+        .unwrap();
+    });
+    for stepwise in [false, true] {
+        let mut m = machine(&img);
+        let sel = m.opcodes().get("negj").unwrap();
+        m.start_send(sel, Word::Int(7), &[]).unwrap();
+        let r = if stepwise {
+            m.run_stepwise(1000)
+        } else {
+            m.run(1000)
+        };
+        match r {
+            Err(MachineError::BadOperands { reason, .. }) => {
+                assert!(reason.contains("non-negative"), "{reason}");
+            }
+            other => panic!("stepwise={stepwise}: expected BadOperands, got {other:?}"),
+        }
+    }
+}

@@ -158,7 +158,11 @@ impl Instr {
     /// # Errors
     ///
     /// Returns [`IsaError::BadEncoding`] if bits above 35 are set or a
-    /// zero-address payload carries operand bits.
+    /// zero-address payload carries operand bits, and
+    /// [`IsaError::MisplacedConstant`] for a constant-mode A operand —
+    /// decode admits exactly the instructions the [`Instr::three_ret`]
+    /// constructor admits, so no decoded word can violate the
+    /// destination-must-be-a-slot invariant downstream.
     pub fn decode(word: u64) -> Result<Instr, IsaError> {
         if word >> 36 != 0 {
             return Err(IsaError::BadEncoding(word));
@@ -166,10 +170,14 @@ impl Instr {
         let ret = word & RET_BIT != 0;
         let op = Opcode(((word >> OPCODE_SHIFT) & OPCODE_MASK) as u16);
         if word & FMT_BIT == 0 {
+            let a = Operand::decode(((word >> 16) & 0xFF) as u8);
+            if a.is_const() {
+                return Err(IsaError::MisplacedConstant { position: 0 });
+            }
             Ok(Instr::Three {
                 op,
                 ret,
-                a: Operand::decode(((word >> 16) & 0xFF) as u8),
+                a,
                 b: Operand::decode(((word >> 8) & 0xFF) as u8),
                 c: Operand::decode((word & 0xFF) as u8),
             })
@@ -200,6 +208,26 @@ impl Instr {
                 .map(|i| Operand::Next(1 + i))
                 .collect(),
         }
+    }
+
+    /// The explicit operands of a three-address instruction in A, B, C
+    /// order; `None` for zero-address instructions (their operands are
+    /// implicit next-context locals — see [`Instr::sources`]).
+    pub fn operands(&self) -> Option<[Operand; 3]> {
+        match *self {
+            Instr::Three { a, b, c, .. } => Some([a, b, c]),
+            Instr::Zero { .. } => None,
+        }
+    }
+
+    /// Whether this is a conditional jump (`fjmp`/`rjmp`) — a
+    /// three-address control instruction whose C operand carries the
+    /// branch displacement.
+    pub fn is_jump(&self) -> bool {
+        matches!(
+            self,
+            Instr::Three { op, .. } if *op == Opcode::FJMP || *op == Opcode::RJMP
+        )
     }
 
     /// The destination operand this instruction writes, if any.
@@ -301,6 +329,25 @@ mod tests {
     }
 
     #[test]
+    fn decode_rejects_constant_destinations_like_the_constructor() {
+        // A valid instruction whose A field is re-encoded to constant
+        // mode (high operand bit set) must not decode: decode admits
+        // exactly what the constructors admit.
+        let i = Instr::three(
+            Opcode::ADD,
+            Operand::Cur(3),
+            Operand::Cur(1),
+            Operand::Cur(2),
+        )
+        .unwrap();
+        let word = i.encode() | (0x80 << 16);
+        assert!(matches!(
+            Instr::decode(word),
+            Err(IsaError::MisplacedConstant { position: 0 })
+        ));
+    }
+
+    #[test]
     fn rejects_wide_opcode_and_nargs() {
         assert!(Instr::zero(Opcode(0x400), 0, false).is_err());
         assert!(Instr::zero(Opcode(1), 3, false).is_err());
@@ -339,6 +386,33 @@ mod tests {
         )
         .unwrap();
         assert_eq!(add.destination(), Some(Operand::Cur(0)));
+    }
+
+    #[test]
+    fn operand_introspection_reports_format_and_jumps() {
+        let add = Instr::three(
+            Opcode::ADD,
+            Operand::Cur(0),
+            Operand::Cur(1),
+            Operand::Const(2),
+        )
+        .unwrap();
+        assert_eq!(
+            add.operands(),
+            Some([Operand::Cur(0), Operand::Cur(1), Operand::Const(2)])
+        );
+        assert!(!add.is_jump());
+        let jmp = Instr::three(
+            Opcode::RJMP,
+            Operand::Cur(0),
+            Operand::Cur(1),
+            Operand::Const(0),
+        )
+        .unwrap();
+        assert!(jmp.is_jump());
+        let z = Instr::zero(Opcode(70), 1, false).unwrap();
+        assert_eq!(z.operands(), None);
+        assert!(!z.is_jump());
     }
 
     #[test]

@@ -218,6 +218,19 @@ impl OpcodeTable {
         self.by_op.get(&op).map(String::as_str)
     }
 
+    /// Whether `op` is interned — a standard selector or one this table
+    /// allocated. Static verification uses this to reject code words whose
+    /// opcode field names a selector no source ever mentioned.
+    pub fn contains(&self, op: Opcode) -> bool {
+        self.by_op.contains_key(&op)
+    }
+
+    /// Iterates all interned opcodes with their selector names, in no
+    /// particular order.
+    pub fn iter(&self) -> impl Iterator<Item = (Opcode, &str)> {
+        self.by_op.iter().map(|(op, name)| (*op, name.as_str()))
+    }
+
     /// Number of interned selectors (standard + user).
     pub fn len(&self) -> usize {
         self.names.len()
@@ -265,6 +278,20 @@ mod tests {
         assert_eq!(t.get("+"), Some(Opcode::ADD));
         assert_eq!(t.get("at:put:"), Some(Opcode::ATPUT));
         assert_eq!(t.get("nonexistent"), None);
+    }
+
+    #[test]
+    fn contains_tracks_interning() {
+        let mut t = OpcodeTable::new();
+        assert!(t.contains(Opcode::ADD));
+        assert!(t.contains(Opcode::RAWATPUT));
+        // The gap between the standard selectors and USER_BASE, and the
+        // unallocated user space, are both absent.
+        assert!(!t.contains(Opcode(37)));
+        assert!(!t.contains(Opcode(Opcode::USER_BASE)));
+        let op = t.intern("frob");
+        assert!(t.contains(op));
+        assert!(t.iter().any(|(o, n)| o == op && n == "frob"));
     }
 
     #[test]

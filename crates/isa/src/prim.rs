@@ -144,6 +144,24 @@ impl PrimOp {
     pub fn is_control(self) -> bool {
         matches!(self, PrimOp::Fjmp | PrimOp::Rjmp | PrimOp::Xfer)
     }
+
+    /// Whether this is a pure data operation: a function-unit result with
+    /// no control or memory side effects — the set the engine's `data_op`
+    /// evaluator (and the static verifier's constant folder) handles.
+    pub fn is_pure_data(self) -> bool {
+        !matches!(
+            self,
+            PrimOp::Fjmp
+                | PrimOp::Rjmp
+                | PrimOp::Xfer
+                | PrimOp::At
+                | PrimOp::AtPut
+                | PrimOp::Movea
+                | PrimOp::New
+                | PrimOp::Grow
+                | PrimOp::TagAs
+        )
+    }
 }
 
 impl core::fmt::Display for PrimOp {
@@ -181,5 +199,16 @@ mod tests {
         assert!(PrimOp::Fjmp.is_control());
         assert!(PrimOp::Xfer.is_control());
         assert!(!PrimOp::At.is_control());
+    }
+
+    #[test]
+    fn pure_data_excludes_control_memory_and_privileged() {
+        assert!(PrimOp::Add.is_pure_data());
+        assert!(PrimOp::Move.is_pure_data());
+        assert!(PrimOp::TagOf.is_pure_data());
+        assert!(!PrimOp::Fjmp.is_pure_data());
+        assert!(!PrimOp::At.is_pure_data());
+        assert!(!PrimOp::New.is_pure_data());
+        assert!(!PrimOp::TagAs.is_pure_data());
     }
 }

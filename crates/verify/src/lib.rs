@@ -1,0 +1,33 @@
+//! Static image verification and dataflow lint for COM program images.
+//!
+//! The machine (Dally & Kajiya's Caltech Object Machine) defends itself at
+//! runtime with tagged words and typed traps; this crate moves the whole
+//! class of *structurally* malformed images from runtime to load time. It
+//! provides:
+//!
+//! - a structural **verifier** ([`verify_image`], [`verify_code`],
+//!   [`verify_words`]) that checks every compiled method before the image
+//!   is allowed near an engine: opcodes interned, branch targets
+//!   in-bounds on instruction boundaries, operand slots inside the context
+//!   geometry, constants resolvable, trap-handler arity correct. Failures
+//!   are typed [`VerifyError`]s with method/offset provenance and stable
+//!   `V00x` codes — never panics;
+//! - reusable **dataflow analyses** over verified bodies ([`Cfg`],
+//!   [`ReachingDefs`], [`Liveness`], [`ConstSlots`]);
+//! - the **lints** behind the `vmlint` CLI ([`lint_image`]), with stable
+//!   `L00x`/`I001` diagnostic codes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cfg;
+pub mod check;
+pub mod dataflow;
+mod error;
+pub mod lint;
+
+pub use cfg::{Block, Cfg};
+pub use check::{verify_code, verify_image, verify_words, MAX_SLOT};
+pub use dataflow::{ConstSlots, ConstVal, DefSite, Liveness, PrimResolver, ReachingDefs};
+pub use error::{Provenance, VerifyError, VerifyErrorKind};
+pub use lint::{lint_code, lint_image, DiagCode, Diagnostic, Severity};

@@ -1,0 +1,420 @@
+//! Dataflow lints with stable diagnostic codes, for the `vmlint` CLI.
+
+use com_core::ProgramImage;
+use com_isa::{CodeObject, Opcode, PrimOp};
+use com_mem::ClassId;
+use com_obj::{lookup_method, MethodRef, TrapSelector};
+use std::collections::HashSet;
+
+use crate::cfg::Cfg;
+use crate::check::verify_image;
+use crate::dataflow::{def_slot, use_slots, ConstSlots, Liveness, ReachingDefs};
+use crate::error::{Provenance, VerifyError};
+
+/// Diagnostic severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Informational: reported, never denied. Covers findings that are
+    /// routine in compiler-generated code (scratch-slot churn, join-block
+    /// scaffolding) and pure estimates.
+    Info,
+    /// A warning: `vmlint --deny` fails on these.
+    Warning,
+}
+
+/// The stable lint codes. Verify errors use `V001`–`V007`
+/// (see [`VerifyErrorKind::code`](crate::VerifyErrorKind::code)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiagCode {
+    /// `L001`: instructions no path from the method entry can reach.
+    Unreachable,
+    /// `L002`: a slot store overwritten on every path before any read.
+    DeadStore,
+    /// `L003`: a slot read that may happen before any write on some path
+    /// (the interpreter's `UninitOperand` trap, found statically).
+    UseBeforeDef,
+    /// `L004`: a send with provably constant operands that provably traps
+    /// every time it executes.
+    AlwaysTraps,
+    /// `I001`: the method's worst-case own-frame fuel (or unbounded).
+    FuelBound,
+}
+
+impl DiagCode {
+    /// The stable code string tools match on.
+    pub fn code(self) -> &'static str {
+        match self {
+            DiagCode::Unreachable => "L001",
+            DiagCode::DeadStore => "L002",
+            DiagCode::UseBeforeDef => "L003",
+            DiagCode::AlwaysTraps => "L004",
+            DiagCode::FuelBound => "I001",
+        }
+    }
+
+    /// The default severity. Unreachable code and dead stores are
+    /// informational: the inlining compiler routinely emits both
+    /// (join-block scaffolding after arms that return, scratch slots
+    /// reused across statements), so they describe codegen quality, not
+    /// malformation.
+    pub fn severity(self) -> Severity {
+        match self {
+            DiagCode::Unreachable | DiagCode::DeadStore | DiagCode::FuelBound => Severity::Info,
+            DiagCode::UseBeforeDef | DiagCode::AlwaysTraps => Severity::Warning,
+        }
+    }
+
+    /// One-line description for the CLI's diagnostics table.
+    pub fn describe(self) -> &'static str {
+        match self {
+            DiagCode::Unreachable => "unreachable code: no path from the method entry",
+            DiagCode::DeadStore => "dead store: overwritten on every path before any read",
+            DiagCode::UseBeforeDef => "use of a context slot that may be uninitialised",
+            DiagCode::AlwaysTraps => "send with constant operands that provably traps",
+            DiagCode::FuelBound => "worst-case own-frame fuel estimate",
+        }
+    }
+
+    /// Every lint code, for the CLI's table.
+    pub const ALL: [DiagCode; 5] = [
+        DiagCode::Unreachable,
+        DiagCode::DeadStore,
+        DiagCode::UseBeforeDef,
+        DiagCode::AlwaysTraps,
+        DiagCode::FuelBound,
+    ];
+}
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// Which lint fired.
+    pub code: DiagCode,
+    /// The method it fired in.
+    pub method: Provenance,
+    /// The instruction it anchors to (absent for method-level findings
+    /// such as the fuel estimate).
+    pub offset: Option<usize>,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// The finding's severity (the code's default).
+    pub fn severity(&self) -> Severity {
+        self.code.severity()
+    }
+}
+
+impl core::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let kind = match self.severity() {
+            Severity::Warning => "warning",
+            Severity::Info => "info",
+        };
+        write!(f, "{kind}[{}] {}", self.code.code(), self.method)?;
+        if let Some(pc) = self.offset {
+            write!(f, ", instruction {pc}")?;
+        }
+        write!(f, ": {}", self.message)
+    }
+}
+
+/// Verifies `image`, then runs every lint over every method.
+///
+/// The `L004` always-traps lint is suppressed image-wide when the image
+/// installs a `badOperands:` handler: with a handler present a trapping
+/// send is a *feature* (the trap workloads run through theirs), not a
+/// latent fault.
+///
+/// # Errors
+///
+/// The first [`VerifyError`] — lints only run on verified images.
+pub fn lint_image(image: &ProgramImage) -> Result<Vec<Diagnostic>, VerifyError> {
+    verify_image(image)?;
+    // Selectors any image method defines: sends of these may dispatch to
+    // the defined method instead of the primitive, so constant folding
+    // must not claim to know their result (conservative, class-insensitive).
+    let overridden: HashSet<Opcode> = image.methods.iter().map(|m| m.selector).collect();
+    let resolve = |class: ClassId, op: Opcode| -> Option<PrimOp> {
+        if overridden.contains(&op) {
+            return None;
+        }
+        match lookup_method(&image.classes, class, op).method {
+            Some(MethodRef::Primitive(p)) => Some(p),
+            _ => None,
+        }
+    };
+    let suppress_l004 = image
+        .opcodes
+        .get(TrapSelector::BadOperands.name())
+        .is_some_and(|sel| image.methods.iter().any(|m| m.selector == sel));
+    let mut out = Vec::new();
+    for (index, m) in image.methods.iter().enumerate() {
+        let prov = Provenance {
+            index: Some(index),
+            name: m.code.name.clone(),
+        };
+        out.extend(lint_code(&m.code, &prov, &resolve, suppress_l004));
+    }
+    Ok(out)
+}
+
+/// Runs every lint over one verified code object.
+pub fn lint_code(
+    code: &CodeObject,
+    prov: &Provenance,
+    resolve: &crate::dataflow::PrimResolver,
+    suppress_always_traps: bool,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let cfg = Cfg::build(code);
+    let diag = |code: DiagCode, offset: Option<usize>, message: String| Diagnostic {
+        code,
+        method: prov.clone(),
+        offset,
+        message,
+    };
+
+    // L001 — unreachable blocks.
+    let reachable = cfg.reachable();
+    for (bi, b) in cfg.blocks.iter().enumerate() {
+        if !reachable[bi] {
+            out.push(diag(
+                DiagCode::Unreachable,
+                Some(b.start),
+                format!("instructions {}..{} are unreachable", b.start, b.end),
+            ));
+        }
+    }
+
+    // L002 — dead stores: the stored slot is not live after the store
+    // *and* some later store kills it (stores merely unread at exit are
+    // not reported: method results and scratch tails land there).
+    let live_after = Liveness::build(code, &cfg).live_after(code, &cfg);
+    let stored_later: Vec<u32> = {
+        // For each instruction, the set of slots stored at any reachable
+        // later point (flow-insensitive over the method; conservative).
+        let mut later = vec![0u32; code.instrs.len() + 1];
+        for pc in (0..code.instrs.len()).rev() {
+            later[pc] = later[pc + 1]
+                | def_slot(code.instrs[pc])
+                    .map(|s| 1u32 << s)
+                    .unwrap_or_default();
+        }
+        later
+    };
+    for (pc, instr) in code.instrs.iter().enumerate() {
+        if !reachable[cfg.block_of[pc]] {
+            continue;
+        }
+        if let Some(slot) = def_slot(*instr) {
+            if live_after[pc] & (1 << slot) == 0 && stored_later[pc + 1] & (1 << slot) != 0 {
+                out.push(diag(
+                    DiagCode::DeadStore,
+                    Some(pc),
+                    format!("store to slot {slot} is overwritten before any read"),
+                ));
+            }
+        }
+    }
+
+    // L003 — use of a maybe-uninitialised slot.
+    let uninit = ReachingDefs::build(code, &cfg).maybe_uninit(code, &cfg);
+    for (pc, instr) in code.instrs.iter().enumerate() {
+        if !reachable[cfg.block_of[pc]] {
+            continue;
+        }
+        let bad = use_slots(*instr) & uninit[pc];
+        for slot in 0..crate::dataflow::N_SLOTS {
+            if bad & (1 << slot) != 0 {
+                out.push(diag(
+                    DiagCode::UseBeforeDef,
+                    Some(pc),
+                    format!("slot {slot} may be read before it is ever written"),
+                ));
+            }
+        }
+    }
+
+    // L004 — provably always-trapping sends.
+    if !suppress_always_traps {
+        let consts = ConstSlots::build(code, &cfg, resolve);
+        for (pc, trap) in consts.trap_sites {
+            if reachable[cfg.block_of[pc]] {
+                out.push(diag(
+                    DiagCode::AlwaysTraps,
+                    Some(pc),
+                    format!("this send traps every time it executes: {trap}"),
+                ));
+            }
+        }
+    }
+
+    // I001 — fuel estimate.
+    let fuel = match cfg.fuel_bound() {
+        Some(n) => format!("worst-case own-frame fuel: {n} instructions"),
+        None => "worst-case own-frame fuel: unbounded (contains loops)".to_string(),
+    };
+    out.push(diag(DiagCode::FuelBound, None, fuel));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use com_isa::{Assembler, Operand};
+    use com_mem::Word;
+
+    fn image_with(code: CodeObject) -> ProgramImage {
+        let mut img = ProgramImage::empty();
+        let sel = img.opcodes.intern("probe");
+        img.add_method(ClassId::SMALL_INT, sel, code);
+        img
+    }
+
+    fn warnings(diags: &[Diagnostic]) -> Vec<&Diagnostic> {
+        diags
+            .iter()
+            .filter(|d| d.severity() == Severity::Warning)
+            .collect()
+    }
+
+    #[test]
+    fn clean_method_yields_only_the_fuel_info() {
+        let mut asm = Assembler::new("t", 2);
+        asm.emit_three(
+            Opcode::ADD,
+            Operand::Cur(4),
+            Operand::Cur(1),
+            Operand::Cur(1),
+        )
+        .unwrap();
+        asm.emit_three_ret(
+            Opcode::MOVE,
+            Operand::Cur(0),
+            Operand::Cur(4),
+            Operand::Cur(4),
+        )
+        .unwrap();
+        let diags = lint_image(&image_with(asm.finish().unwrap())).unwrap();
+        assert!(warnings(&diags).is_empty(), "{diags:?}");
+        assert!(diags.iter().any(|d| d.code == DiagCode::FuelBound));
+    }
+
+    #[test]
+    fn use_before_def_warns() {
+        let mut asm = Assembler::new("t", 1);
+        asm.emit_three_ret(
+            Opcode::MOVE,
+            Operand::Cur(0),
+            Operand::Cur(9),
+            Operand::Cur(9),
+        )
+        .unwrap();
+        let diags = lint_image(&image_with(asm.finish().unwrap())).unwrap();
+        let w = warnings(&diags);
+        assert_eq!(w.len(), 1, "{diags:?}");
+        assert_eq!(w[0].code, DiagCode::UseBeforeDef);
+        assert_eq!(w[0].offset, Some(0));
+        assert!(w[0].to_string().contains("L003"));
+    }
+
+    #[test]
+    fn always_trapping_send_warns_unless_handled() {
+        let mut asm = Assembler::new("t", 1);
+        let k1 = asm.intern_const(Word::Int(1));
+        let k0 = asm.intern_const(Word::Int(0));
+        asm.emit_three(
+            Opcode::DIV,
+            Operand::Cur(4),
+            Operand::Const(k1),
+            Operand::Const(k0),
+        )
+        .unwrap();
+        asm.emit_three_ret(
+            Opcode::MOVE,
+            Operand::Cur(0),
+            Operand::Cur(4),
+            Operand::Cur(4),
+        )
+        .unwrap();
+        let code = asm.finish().unwrap();
+        let diags = lint_image(&image_with(code.clone())).unwrap();
+        let w = warnings(&diags);
+        assert_eq!(w.len(), 1, "{diags:?}");
+        assert_eq!(w[0].code, DiagCode::AlwaysTraps);
+        // With a badOperands: handler installed, the trap is a routed
+        // feature, not a fault.
+        let mut img = image_with(code);
+        let bo = img.opcodes.intern(TrapSelector::BadOperands.name());
+        let mut asm = Assembler::new("Int ≫ badOperands:", 2);
+        asm.emit_three_ret(
+            Opcode::MOVE,
+            Operand::Cur(0),
+            Operand::Cur(1),
+            Operand::Cur(1),
+        )
+        .unwrap();
+        img.add_method(ClassId::SMALL_INT, bo, asm.finish().unwrap());
+        let diags = lint_image(&img).unwrap();
+        assert!(
+            !diags.iter().any(|d| d.code == DiagCode::AlwaysTraps),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn unreachable_and_dead_store_are_informational() {
+        // c4 := c1 (overwritten); jump over dead code; c4 := c1; ret.
+        let mut asm = Assembler::new("t", 2);
+        let end = asm.label();
+        asm.emit_three(
+            Opcode::MOVE,
+            Operand::Cur(4),
+            Operand::Cur(1),
+            Operand::Cur(1),
+        )
+        .unwrap(); // 0: dead store
+        asm.jump(end); // 1: unconditional
+        asm.emit_three(
+            Opcode::ADD,
+            Operand::Cur(5),
+            Operand::Cur(1),
+            Operand::Cur(1),
+        )
+        .unwrap(); // 2: unreachable
+        asm.bind(end);
+        asm.emit_three(
+            Opcode::MOVE,
+            Operand::Cur(4),
+            Operand::Cur(1),
+            Operand::Cur(1),
+        )
+        .unwrap(); // 3
+        asm.emit_three_ret(
+            Opcode::MOVE,
+            Operand::Cur(0),
+            Operand::Cur(4),
+            Operand::Cur(4),
+        )
+        .unwrap(); // 4
+        let diags = lint_image(&image_with(asm.finish().unwrap())).unwrap();
+        assert!(warnings(&diags).is_empty(), "{diags:?}");
+        let codes: Vec<_> = diags.iter().map(|d| d.code).collect();
+        assert!(codes.contains(&DiagCode::Unreachable), "{diags:?}");
+        assert!(codes.contains(&DiagCode::DeadStore), "{diags:?}");
+    }
+
+    #[test]
+    fn codes_and_severities_are_stable() {
+        assert_eq!(DiagCode::Unreachable.code(), "L001");
+        assert_eq!(DiagCode::DeadStore.code(), "L002");
+        assert_eq!(DiagCode::UseBeforeDef.code(), "L003");
+        assert_eq!(DiagCode::AlwaysTraps.code(), "L004");
+        assert_eq!(DiagCode::FuelBound.code(), "I001");
+        for c in DiagCode::ALL {
+            assert!(!c.describe().is_empty());
+        }
+    }
+}

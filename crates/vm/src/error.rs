@@ -3,6 +3,7 @@
 use com_core::{CycleStats, MachineError};
 use com_mem::Word;
 use com_stc::CompileError;
+use com_verify::VerifyError;
 
 /// A machine trap that unwound a call, with the call's accounting.
 ///
@@ -46,6 +47,13 @@ impl std::error::Error for Trap {
 pub enum VmError {
     /// Source text failed to compile.
     Compile(CompileError),
+    /// The compiled (or hand-assembled) image failed static
+    /// verification: a structural fault — unknown opcode, wild branch,
+    /// out-of-geometry slot, unresolvable constant, wrong trap-handler
+    /// arity — refused at load time, before any engine boots. The
+    /// boxed [`VerifyError`] carries the method/offset provenance and a
+    /// stable `V00x` code.
+    Verify(Box<VerifyError>),
     /// The machine refused the call before it ran (boot/start errors:
     /// allocation failures, a malformed entry). Traps raised by a
     /// *running* call surface as [`VmError::Trap`] instead, which also
@@ -126,6 +134,12 @@ impl From<CompileError> for VmError {
     }
 }
 
+impl From<VerifyError> for VmError {
+    fn from(e: VerifyError) -> Self {
+        VmError::Verify(Box::new(e))
+    }
+}
+
 impl From<MachineError> for VmError {
     fn from(e: MachineError) -> Self {
         match e {
@@ -161,6 +175,7 @@ impl core::fmt::Display for VmError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
             VmError::Compile(e) => write!(f, "compile error: {e}"),
+            VmError::Verify(e) => write!(f, "image failed verification: {e}"),
             VmError::Machine(e) => write!(f, "machine refused the call: {e}"),
             VmError::Trap(t) => write!(f, "machine trap unwound the call: {t}"),
             VmError::Type { expected, got } => {
@@ -196,6 +211,7 @@ impl std::error::Error for VmError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             VmError::Compile(e) => Some(e),
+            VmError::Verify(e) => Some(e.as_ref()),
             VmError::Machine(e) => Some(e),
             VmError::Trap(t) => Some(&t.cause),
             _ => None,
@@ -261,6 +277,7 @@ mod tests {
     fn display_fragment(e: &VmError) -> &'static str {
         match e {
             VmError::Compile(_) => "compile error",
+            VmError::Verify(_) => "image failed verification",
             VmError::Machine(_) => "machine refused the call",
             VmError::Trap(_) => "machine trap unwound the call",
             VmError::Type { .. } => "does not convert to",
@@ -283,8 +300,17 @@ mod tests {
             instructions: 3,
             ..CycleStats::default()
         };
+        let verify = com_verify::VerifyError {
+            method: com_verify::Provenance {
+                index: Some(0),
+                name: "T ≫ bad".into(),
+            },
+            offset: Some(2),
+            kind: com_verify::VerifyErrorKind::TooManyArgs { n_args: 31 },
+        };
         vec![
             VmError::Compile(compile),
+            VmError::Verify(Box::new(verify)),
             VmError::Machine(MachineError::NoContext),
             VmError::Trap(Box::new(Trap {
                 cause: MachineError::BadOperands {
@@ -327,7 +353,10 @@ mod tests {
         for e in samples() {
             match &e {
                 // Wrapping variants expose the cause through source().
-                VmError::Compile(_) | VmError::Machine(_) | VmError::Trap(_) => {
+                VmError::Compile(_)
+                | VmError::Verify(_)
+                | VmError::Machine(_)
+                | VmError::Trap(_) => {
                     assert!(e.source().is_some(), "{e:?} lost its source");
                 }
                 // Facade-originated conditions are the root cause.

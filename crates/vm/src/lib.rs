@@ -118,20 +118,29 @@ use std::sync::Arc;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct VmBuilder {
     sources: Vec<String>,
     options: CompileOptions,
     config: MachineConfig,
+    verify: bool,
+}
+
+impl Default for VmBuilder {
+    fn default() -> VmBuilder {
+        VmBuilder::new()
+    }
 }
 
 impl VmBuilder {
     /// An empty builder with default compile options and machine config.
+    /// Static verification is **on** by default.
     pub fn new() -> VmBuilder {
         VmBuilder {
             sources: Vec::new(),
             options: CompileOptions::default(),
             config: MachineConfig::default(),
+            verify: true,
         }
     }
 
@@ -158,14 +167,29 @@ impl VmBuilder {
         self
     }
 
-    /// Compiles the gathered sources once and prepares the shared image.
+    /// Toggles load-time static verification (on by default). Turning it
+    /// off admits images the verifier would refuse; the engine still
+    /// defends itself with typed runtime traps, never panics.
+    pub fn verify(mut self, verify: bool) -> VmBuilder {
+        self.verify = verify;
+        self
+    }
+
+    /// Compiles the gathered sources once, **verifies** the image (unless
+    /// [`verify(false)`](VmBuilder::verify)), and prepares the shared
+    /// image.
     ///
     /// # Errors
     ///
-    /// [`VmError::Compile`] on any lexical, syntactic or semantic error.
+    /// [`VmError::Compile`] on any lexical, syntactic or semantic error;
+    /// [`VmError::Verify`] if the compiled image fails static
+    /// verification.
     pub fn build(self) -> Result<Vm, VmError> {
         let joined = self.sources.join("\n");
         let image = com_stc::compile_com(&joined, self.options)?;
+        if self.verify {
+            com_verify::verify_image(&image)?;
+        }
         Ok(Vm {
             image: Arc::new(LoadedImage::prepare_for(image, &self.config)),
             config: self.config,
@@ -204,12 +228,20 @@ impl Vm {
         VmBuilder::new()
     }
 
-    /// Wraps an already-compiled (or hand-assembled) [`ProgramImage`].
-    pub fn from_image(image: ProgramImage, config: MachineConfig) -> Vm {
-        Vm {
+    /// Wraps an already-compiled (or hand-assembled) [`ProgramImage`],
+    /// refusing it with [`VmError::Verify`] if it fails static
+    /// verification — a malformed image never reaches an engine.
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::Verify`] with method/offset provenance for the first
+    /// structural fault.
+    pub fn from_image(image: ProgramImage, config: MachineConfig) -> Result<Vm, VmError> {
+        com_verify::verify_image(&image)?;
+        Ok(Vm {
             image: Arc::new(LoadedImage::prepare_for(image, &config)),
             config,
-        }
+        })
     }
 
     /// Spawns a fresh, isolated tenant session over the shared image.
@@ -461,7 +493,47 @@ mod tests {
         )
         .unwrap();
         img.add_method(ClassId::SMALL_INT, sel, asm.finish().unwrap());
-        let vm = Vm::from_image(img, MachineConfig::default());
+        let vm = Vm::from_image(img, MachineConfig::default()).unwrap();
         assert_eq!(vm.session().unwrap().call::<i64>("double", 21).unwrap(), 42);
+    }
+
+    #[test]
+    fn from_image_refuses_malformed_images_with_a_typed_error() {
+        use com_isa::{Assembler, Opcode, Operand};
+        use com_mem::ClassId;
+        let mut img = ProgramImage::empty();
+        let sel = img.opcodes.intern("wild");
+        let mut asm = Assembler::new("SmallInteger>>wild", 1);
+        // Slot 63 encodes but lies beyond the context geometry.
+        asm.emit_three_ret(
+            Opcode::MOVE,
+            Operand::Cur(0),
+            Operand::Cur(63),
+            Operand::Cur(63),
+        )
+        .unwrap();
+        img.add_method(ClassId::SMALL_INT, sel, asm.finish().unwrap());
+        match Vm::from_image(img, MachineConfig::default()) {
+            Err(VmError::Verify(e)) => {
+                assert_eq!(e.code(), "V003");
+                assert!(e.to_string().contains("wild"), "{e}");
+            }
+            other => panic!("expected VmError::Verify, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn builder_verification_can_be_disabled() {
+        // The stdlib-backed compile verifies cleanly either way; the
+        // toggle just must not change the result.
+        let vm = Vm::builder()
+            .source(FACTORIAL)
+            .verify(false)
+            .build()
+            .unwrap();
+        assert_eq!(
+            vm.session().unwrap().call::<i64>("factorial", 6).unwrap(),
+            720
+        );
     }
 }

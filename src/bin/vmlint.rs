@@ -1,0 +1,212 @@
+//! `vmlint` — static verification and dataflow lint over COM program
+//! images, with stable diagnostic codes and a deny mode for CI.
+
+use com_stc::{compile_com, CompileOptions};
+use com_verify::{lint_image, DiagCode, Diagnostic, Severity, VerifyError};
+use com_workloads as workloads;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+vmlint — static verifier and dataflow lint for COM program images
+
+USAGE:
+    vmlint [OPTIONS] [FILE...]
+
+Each FILE is COM source text, compiled (with the standard library) and
+linted. With no FILE and no target option, lints the built-in workloads
+and the bare standard library — the CI sweep.
+
+OPTIONS:
+    --workloads   Lint every built-in benchmark workload
+    --stdlib      Lint the standard library compiled on its own
+    --deny        Exit non-zero on warning-severity lints (verify
+                  errors always fail, with or without --deny)
+    --fuel        Also print each method's worst-case fuel estimate (I001)
+    --verbose     Also print info-severity lints (L001/L002)
+    --help        Print this help
+
+EXIT STATUS:
+    0  every image verified; no denied diagnostics
+    1  a verify error, or (with --deny) a warning-severity lint
+    2  usage or I/O error
+
+DIAGNOSTICS:
+  Verify errors (always fatal — the image is refused at load time):
+    V001  opcode not interned in the image
+    V002  wild branch: target not provably in-bounds on a boundary
+    V003  operand slot beyond the context geometry
+    V004  constant operand beyond the method's constant table
+    V005  trap handler (doesNotUnderstand:/badOperands:) with wrong arity
+    V006  method declares more args than the context geometry holds
+    V007  instruction word does not decode
+
+  Lints (from the dataflow analyses; severity in brackets):
+    L001  [info]     unreachable code: no path from the method entry
+    L002  [info]     dead store: overwritten on every path before any read
+    L003  [warning]  use of a context slot that may be uninitialised
+    L004  [warning]  send with constant operands that provably traps
+    I001  [info]     worst-case own-frame fuel estimate
+";
+
+struct Options {
+    workloads: bool,
+    stdlib: bool,
+    deny: bool,
+    fuel: bool,
+    verbose: bool,
+    files: Vec<String>,
+}
+
+fn parse_args() -> Result<Option<Options>, String> {
+    let mut opts = Options {
+        workloads: false,
+        stdlib: false,
+        deny: false,
+        fuel: false,
+        verbose: false,
+        files: Vec::new(),
+    };
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--help" | "-h" => return Ok(None),
+            "--workloads" => opts.workloads = true,
+            "--stdlib" => opts.stdlib = true,
+            "--deny" => opts.deny = true,
+            "--fuel" => opts.fuel = true,
+            "--verbose" | "-v" => opts.verbose = true,
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option: {other}"));
+            }
+            file => opts.files.push(file.to_string()),
+        }
+    }
+    if !opts.workloads && !opts.stdlib && opts.files.is_empty() {
+        opts.workloads = true;
+        opts.stdlib = true;
+    }
+    Ok(Some(opts))
+}
+
+/// One target's outcome: the lint findings, or the verify rejection.
+struct Report {
+    name: String,
+    methods: usize,
+    outcome: Result<Vec<Diagnostic>, VerifyError>,
+}
+
+fn lint_source(name: &str, source: &str, options: CompileOptions) -> Result<Report, String> {
+    let image = compile_com(source, options).map_err(|e| format!("{name}: compile error: {e}"))?;
+    Ok(Report {
+        name: name.to_string(),
+        methods: image.methods.len(),
+        outcome: lint_image(&image),
+    })
+}
+
+fn shown(d: &Diagnostic, opts: &Options) -> bool {
+    match d.severity() {
+        Severity::Warning => true,
+        Severity::Info if d.code == DiagCode::FuelBound => opts.fuel,
+        Severity::Info => opts.verbose,
+    }
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(Some(opts)) => opts,
+        Ok(None) => {
+            print!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(e) => {
+            eprintln!("vmlint: {e}");
+            eprint!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut reports: Vec<Report> = Vec::new();
+    if opts.stdlib {
+        match lint_source("stdlib", "", CompileOptions::default()) {
+            Ok(r) => reports.push(r),
+            Err(e) => {
+                eprintln!("vmlint: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if opts.workloads {
+        for w in workloads::all() {
+            match lint_source(
+                &format!("workload {}", w.name),
+                w.source,
+                CompileOptions::default(),
+            ) {
+                Ok(r) => reports.push(r),
+                Err(e) => {
+                    eprintln!("vmlint: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    }
+    for file in &opts.files {
+        let source = match std::fs::read_to_string(file) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("vmlint: {file}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        match lint_source(file, &source, CompileOptions::default()) {
+            Ok(r) => reports.push(r),
+            Err(e) => {
+                eprintln!("vmlint: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let mut verify_errors = 0usize;
+    let mut warnings = 0usize;
+    let mut infos = 0usize;
+    for report in &reports {
+        match &report.outcome {
+            Err(e) => {
+                verify_errors += 1;
+                println!("{}: error{e}", report.name);
+            }
+            Ok(diags) => {
+                let mut header = false;
+                for d in diags {
+                    match d.severity() {
+                        Severity::Warning => warnings += 1,
+                        Severity::Info => infos += 1,
+                    }
+                    if shown(d, &opts) {
+                        if !header {
+                            println!("{} ({} methods):", report.name, report.methods);
+                            header = true;
+                        }
+                        println!("  {d}");
+                    }
+                }
+            }
+        }
+    }
+
+    let images = reports.len();
+    println!(
+        "vmlint: {images} image{} checked, {verify_errors} verify error{}, \
+         {warnings} warning{}, {infos} info finding{}",
+        if images == 1 { "" } else { "s" },
+        if verify_errors == 1 { "" } else { "s" },
+        if warnings == 1 { "" } else { "s" },
+        if infos == 1 { "" } else { "s" },
+    );
+    if verify_errors > 0 || (opts.deny && warnings > 0) {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

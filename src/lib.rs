@@ -62,6 +62,8 @@ pub use com_obj as obj;
 pub use com_stc as stc;
 /// Instruction traces and cache replay (§5 methodology).
 pub use com_trace as trace;
+/// Static image verification and dataflow lint (the `vmlint` CLI).
+pub use com_verify as verify;
 /// The embedding facade: shared images, multi-tenant sessions, typed
 /// calls, resumable execution, cooperative scheduling.
 pub use com_vm as vm;
