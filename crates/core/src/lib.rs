@@ -40,7 +40,7 @@ pub use ctxcache::{ContextCache, CtxCacheStats};
 pub use exec::data_op;
 pub use image::{MethodSource, ProgramImage};
 pub use loaded::LoadedImage;
-pub use machine::{GcTotals, Machine, RunOutcome, RunResult};
+pub use machine::{DispatchEvent, DispatchObserver, GcTotals, Machine, RunOutcome, RunResult};
 
 // Re-exported so machine drivers can pick a collection scope without
 // depending on `com-mem` directly.

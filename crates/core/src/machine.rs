@@ -371,6 +371,32 @@ pub struct RunResult {
     pub steps: u64,
 }
 
+/// One dispatch as observed at the ITLB boundary: the current method's
+/// code base capability, the program counter, and the translation key
+/// the machine is about to resolve.
+#[derive(Debug, Clone, Copy)]
+pub struct DispatchEvent {
+    /// Code base capability of the method executing the send.
+    pub method: Fpa,
+    /// Program counter within that method.
+    pub pc: u64,
+    /// The ITLB key built from the opcode and operand class tags.
+    pub key: ItlbKey,
+}
+
+/// A callback invoked on every instruction dispatch, before ITLB
+/// translation — instrumentation for differential testing and trace
+/// capture. Both interpreter paths (the generic `step` loop and the
+/// lowered threaded loop) report through it; when none is installed the
+/// hot loops pay only an `is_some` check.
+pub struct DispatchObserver(Box<dyn FnMut(DispatchEvent) + Send>);
+
+impl std::fmt::Debug for DispatchObserver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("DispatchObserver(..)")
+    }
+}
+
 /// The Caltech Object Machine.
 ///
 /// ```
@@ -461,6 +487,7 @@ pub struct Machine {
     gc_totals: GcTotals,
     steps: u64,
     halted: Option<Word>,
+    observer: Option<DispatchObserver>,
 }
 
 impl Machine {
@@ -565,6 +592,7 @@ impl Machine {
             gc_totals: GcTotals::default(),
             steps: 0,
             halted: None,
+            observer: None,
         }
     }
 
@@ -1325,6 +1353,74 @@ impl Machine {
     // Dispatch
     // ------------------------------------------------------------------
 
+    /// Installs a dispatch observer: `f` is invoked with the current
+    /// method, program counter, and ITLB key for every instruction
+    /// dispatch on both interpreter paths.
+    pub fn set_dispatch_observer(&mut self, f: impl FnMut(DispatchEvent) + Send + 'static) {
+        self.observer = Some(DispatchObserver(Box::new(f)));
+    }
+
+    /// Removes any installed dispatch observer.
+    pub fn clear_dispatch_observer(&mut self) {
+        self.observer = None;
+    }
+
+    /// Code base capabilities of the loaded methods, in image order
+    /// (entry-send methods synthesized later are appended after them).
+    /// Lets analysis tooling map a [`DispatchEvent::method`] capability
+    /// back to a `ProgramImage` method index.
+    pub fn code_roots(&self) -> &[Fpa] {
+        &self.code_roots
+    }
+
+    #[cold]
+    fn observe_dispatch(&mut self, key: ItlbKey) {
+        let method = match &self.ip {
+            Some((f, _, _)) => *f,
+            None => return,
+        };
+        let pc = self.pc;
+        if let Some(obs) = &mut self.observer {
+            (obs.0)(DispatchEvent { method, pc, key });
+        }
+    }
+
+    /// Warms the ITLB from statically predicted dispatch keys (e.g. the
+    /// monomorphic send sites in a `com-verify` facts artifact). Each
+    /// key runs the same full-association lookup a real miss would run
+    /// and, when it lands on a method, is filled into the buffer — so a
+    /// pre-seeded entry is bit-identical to what the first genuine
+    /// dispatch would have cached. Keys that do not resolve (unknown
+    /// selector, chain cycle, undecodable code) are skipped. Returns
+    /// the number of entries filled. No lookup statistics are charged:
+    /// pre-seeding models boot-time cache warming, not execution.
+    pub fn preseed_itlb(&mut self, keys: &[ItlbKey]) -> usize {
+        if self.itlb.is_none() {
+            return 0;
+        }
+        let mut filled = 0;
+        for key in keys {
+            let out = lookup_method(&self.classes, key.classes[0], key.opcode);
+            if out.cycle {
+                continue;
+            }
+            let Some(mut m) = out.method else { continue };
+            if let MethodRef::Defined(d) = m {
+                if !d.is_resolved() {
+                    match self.ensure_decoded(d.code) {
+                        Ok(id) => m = MethodRef::Defined(d.resolved(id)),
+                        Err(_) => continue,
+                    }
+                }
+            }
+            if let Some(itlb) = &mut self.itlb {
+                itlb.fill(*key, m);
+                filled += 1;
+            }
+        }
+        filled
+    }
+
     fn resolve(&mut self, key: ItlbKey) -> Result<MethodRef, MachineError> {
         if let Some(itlb) = &mut self.itlb {
             if let Some(m) = itlb.lookup(key) {
@@ -1435,6 +1531,9 @@ impl Machine {
                 (bv, cv, key)
             }
         };
+        if self.observer.is_some() {
+            self.observe_dispatch(key);
+        }
 
         // Step 3: translate through the ITLB (or pay full lookup), then
         // steps 4-5: perform the operation / method call, store results.
@@ -2653,6 +2752,9 @@ impl Machine {
                 (bv, cv, key)
             }
         };
+        if self.observer.is_some() {
+            self.observe_dispatch(key);
+        }
 
         // Step 3: translate through the ITLB (or pay full lookup). A
         // failed translation is offered to software trap dispatch (the

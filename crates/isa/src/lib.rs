@@ -37,4 +37,4 @@ pub use error::IsaError;
 pub use instr::Instr;
 pub use opcode::{Opcode, OpcodeTable};
 pub use operand::Operand;
-pub use prim::PrimOp;
+pub use prim::{PrimOp, ResultShape};

@@ -84,6 +84,36 @@ pub enum PrimOp {
     Grow,
 }
 
+/// What a static analysis can know about a primitive operation's result
+/// class without evaluating it — the per-operation half of the
+/// class-inference transfer function (`com-verify`'s interprocedural tier).
+///
+/// The shapes mirror the function-unit semantics: arithmetic follows the
+/// int/float mixed-mode rules, comparisons produce atoms (`true`/`false`),
+/// moves copy their operand's class, and the two escape hatches (`At` on
+/// arbitrary memory, privileged retagging) admit any class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ResultShape {
+    /// Always a `SmallInteger` (bit fields, tags, multiple precision).
+    Int,
+    /// Always an atom — the comparisons produce `true`/`false`.
+    Boolean,
+    /// `SmallInteger` or `Float` by the mixed-mode rule: int×int→int,
+    /// any float operand→float.
+    Numeric,
+    /// The same class as the B operand (negate, grow-in-place).
+    OfB,
+    /// The same class as the C operand (move).
+    OfC,
+    /// A pointer to an object; `New` tags it with the allocated class,
+    /// `Movea` with the context class.
+    Pointer,
+    /// No data result (jumps, transfer, indexed store).
+    None,
+    /// Statically unknowable: any class (indexed load, privileged retag).
+    Dynamic,
+}
+
 impl PrimOp {
     /// The standard opcode ↔ primitive-operation pairing for the machine's
     /// bootstrap: which `PrimOp` implements each standard selector.
@@ -145,6 +175,42 @@ impl PrimOp {
         matches!(self, PrimOp::Fjmp | PrimOp::Rjmp | PrimOp::Xfer)
     }
 
+    /// The statically known shape of this operation's result — what a
+    /// class-inference tier can conclude about the result's class without
+    /// evaluating the operation (see [`ResultShape`]).
+    pub fn result_shape(self) -> ResultShape {
+        match self {
+            PrimOp::Add | PrimOp::Sub | PrimOp::Mul | PrimOp::Div => ResultShape::Numeric,
+            PrimOp::Neg => ResultShape::OfB,
+            PrimOp::Mod
+            | PrimOp::Carry
+            | PrimOp::Mult1
+            | PrimOp::Mult2
+            | PrimOp::Shift
+            | PrimOp::AShift
+            | PrimOp::Rotate
+            | PrimOp::Mask
+            | PrimOp::And
+            | PrimOp::Or
+            | PrimOp::Not
+            | PrimOp::Xor
+            | PrimOp::TagOf => ResultShape::Int,
+            PrimOp::Lt
+            | PrimOp::Le
+            | PrimOp::EqVal
+            | PrimOp::NeVal
+            | PrimOp::Gt
+            | PrimOp::Ge
+            | PrimOp::Same => ResultShape::Boolean,
+            PrimOp::Move => ResultShape::OfC,
+            PrimOp::Grow => ResultShape::OfB,
+            PrimOp::Movea => ResultShape::Pointer,
+            PrimOp::New => ResultShape::Pointer,
+            PrimOp::Fjmp | PrimOp::Rjmp | PrimOp::Xfer | PrimOp::AtPut => ResultShape::None,
+            PrimOp::At | PrimOp::TagAs => ResultShape::Dynamic,
+        }
+    }
+
     /// Whether this is a pure data operation: a function-unit result with
     /// no control or memory side effects — the set the engine's `data_op`
     /// evaluator (and the static verifier's constant folder) handles.
@@ -199,6 +265,18 @@ mod tests {
         assert!(PrimOp::Fjmp.is_control());
         assert!(PrimOp::Xfer.is_control());
         assert!(!PrimOp::At.is_control());
+    }
+
+    #[test]
+    fn result_shapes_follow_function_unit_semantics() {
+        assert_eq!(PrimOp::Add.result_shape(), ResultShape::Numeric);
+        assert_eq!(PrimOp::Lt.result_shape(), ResultShape::Boolean);
+        assert_eq!(PrimOp::Mask.result_shape(), ResultShape::Int);
+        assert_eq!(PrimOp::Move.result_shape(), ResultShape::OfC);
+        assert_eq!(PrimOp::Neg.result_shape(), ResultShape::OfB);
+        assert_eq!(PrimOp::New.result_shape(), ResultShape::Pointer);
+        assert_eq!(PrimOp::Fjmp.result_shape(), ResultShape::None);
+        assert_eq!(PrimOp::At.result_shape(), ResultShape::Dynamic);
     }
 
     #[test]

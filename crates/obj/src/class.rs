@@ -123,6 +123,22 @@ impl ClassTable {
         self.by_name.get(name).copied()
     }
 
+    /// Iterates over every registered class, in ascending id order — the
+    /// closed world a whole-image analysis enumerates (every receiver a
+    /// machine can ever dispatch on carries one of these ids).
+    pub fn iter(&self) -> impl Iterator<Item = (ClassId, &ClassInfo)> {
+        let mut ids: Vec<ClassId> = self.classes.keys().copied().collect();
+        ids.sort_by_key(|c| c.0);
+        ids.into_iter().map(|id| (id, &self.classes[&id]))
+    }
+
+    /// All registered class ids, ascending.
+    pub fn ids(&self) -> Vec<ClassId> {
+        let mut ids: Vec<ClassId> = self.classes.keys().copied().collect();
+        ids.sort_by_key(|c| c.0);
+        ids
+    }
+
     /// Installs a method into a class's dictionary.
     ///
     /// # Panics

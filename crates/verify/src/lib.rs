@@ -15,19 +15,35 @@
 //! - reusable **dataflow analyses** over verified bodies ([`Cfg`],
 //!   [`ReachingDefs`], [`Liveness`], [`ConstSlots`]);
 //! - the **lints** behind the `vmlint` CLI ([`lint_image`]), with stable
-//!   `L00x`/`I001` diagnostic codes.
+//!   `L00x`/`I00x` diagnostic codes;
+//! - the **interprocedural tier**: whole-image class inference
+//!   ([`infer_image`]) over the closed class world, a call graph with
+//!   every send site classified monomorphic / polymorphic / unresolvable
+//!   ([`CallGraph`]), and a machine-readable facts artifact
+//!   ([`ImageFacts`]) that downstream consumers (the engine's ITLB
+//!   pre-seeding, a future JIT) take as their input contract.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod callgraph;
 pub mod cfg;
 pub mod check;
 pub mod dataflow;
 mod error;
+pub mod facts;
+pub mod infer;
 pub mod lint;
 
+pub use callgraph::{CallGraph, FuelBound};
 pub use cfg::{Block, Cfg};
 pub use check::{verify_code, verify_image, verify_words, MAX_SLOT};
 pub use dataflow::{ConstSlots, ConstVal, DefSite, Liveness, PrimResolver, ReachingDefs};
 pub use error::{Provenance, VerifyError, VerifyErrorKind};
-pub use lint::{lint_code, lint_image, DiagCode, Diagnostic, Severity};
+pub use facts::ImageFacts;
+pub use infer::{
+    infer_image, ClassSet, ClassUniverse, Inference, Site, SiteKind, StaticResolver, Target,
+};
+pub use lint::{
+    lint_code, lint_image, lint_image_with, DiagCode, Diagnostic, LintConfig, Severity,
+};

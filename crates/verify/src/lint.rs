@@ -38,6 +38,16 @@ pub enum DiagCode {
     AlwaysTraps,
     /// `I001`: the method's worst-case own-frame fuel (or unbounded).
     FuelBound,
+    /// `L005`: a send whose inferred receiver set provably never
+    /// understands the selector — every execution lands in
+    /// `doesNotUnderstand:`, and no receiver class installs a handler.
+    GuaranteedDnu,
+    /// `L006`: a method no entry point (or engine-invoked trap handler)
+    /// can reach through the call graph.
+    UnreachableMethod,
+    /// `I002`: the method's worst-case *interprocedural* fuel — the
+    /// call-graph composition of the per-method I001 bounds.
+    InterFuel,
 }
 
 impl DiagCode {
@@ -48,7 +58,10 @@ impl DiagCode {
             DiagCode::DeadStore => "L002",
             DiagCode::UseBeforeDef => "L003",
             DiagCode::AlwaysTraps => "L004",
+            DiagCode::GuaranteedDnu => "L005",
+            DiagCode::UnreachableMethod => "L006",
             DiagCode::FuelBound => "I001",
+            DiagCode::InterFuel => "I002",
         }
     }
 
@@ -56,11 +69,18 @@ impl DiagCode {
     /// informational: the inlining compiler routinely emits both
     /// (join-block scaffolding after arms that return, scratch slots
     /// reused across statements), so they describe codegen quality, not
-    /// malformation.
+    /// malformation. Unreachable *methods* likewise: a library image
+    /// legitimately ships more than one entry uses.
     pub fn severity(self) -> Severity {
         match self {
-            DiagCode::Unreachable | DiagCode::DeadStore | DiagCode::FuelBound => Severity::Info,
-            DiagCode::UseBeforeDef | DiagCode::AlwaysTraps => Severity::Warning,
+            DiagCode::Unreachable
+            | DiagCode::DeadStore
+            | DiagCode::FuelBound
+            | DiagCode::UnreachableMethod
+            | DiagCode::InterFuel => Severity::Info,
+            DiagCode::UseBeforeDef | DiagCode::AlwaysTraps | DiagCode::GuaranteedDnu => {
+                Severity::Warning
+            }
         }
     }
 
@@ -71,17 +91,23 @@ impl DiagCode {
             DiagCode::DeadStore => "dead store: overwritten on every path before any read",
             DiagCode::UseBeforeDef => "use of a context slot that may be uninitialised",
             DiagCode::AlwaysTraps => "send with constant operands that provably traps",
+            DiagCode::GuaranteedDnu => "send guaranteed to hit doesNotUnderstand: (no handler)",
+            DiagCode::UnreachableMethod => "method unreachable from any entry point",
             DiagCode::FuelBound => "worst-case own-frame fuel estimate",
+            DiagCode::InterFuel => "worst-case interprocedural fuel estimate",
         }
     }
 
     /// Every lint code, for the CLI's table.
-    pub const ALL: [DiagCode; 5] = [
+    pub const ALL: [DiagCode; 8] = [
         DiagCode::Unreachable,
         DiagCode::DeadStore,
         DiagCode::UseBeforeDef,
         DiagCode::AlwaysTraps,
+        DiagCode::GuaranteedDnu,
+        DiagCode::UnreachableMethod,
         DiagCode::FuelBound,
+        DiagCode::InterFuel,
     ];
 }
 
@@ -120,18 +146,53 @@ impl core::fmt::Display for Diagnostic {
     }
 }
 
-/// Verifies `image`, then runs every lint over every method.
+/// Configuration for [`lint_image_with`]: the entry selectors that seed
+/// the L006 call-graph reachability roots. With no entries, every method
+/// is a root and L006 stays silent (a bare library image claims nothing
+/// about which of its methods a client will use).
+#[derive(Debug, Clone, Default)]
+pub struct LintConfig {
+    /// Entry-point selector names (`--entry` on the CLI; a workload's
+    /// entry selector in the sweep).
+    pub entries: Vec<String>,
+}
+
+/// Verifies `image`, then runs every lint over every method — the
+/// intra-procedural tier plus the interprocedural lints (L004 sharpened
+/// per receiver set, L005, L006, I002) when class inference succeeds.
 ///
-/// The `L004` always-traps lint is suppressed image-wide when the image
-/// installs a `badOperands:` handler: with a handler present a trapping
-/// send is a *feature* (the trap workloads run through theirs), not a
-/// latent fault.
+/// Equivalent to [`lint_image_with`] with a default (empty) config.
 ///
 /// # Errors
 ///
 /// The first [`VerifyError`] — lints only run on verified images.
 pub fn lint_image(image: &ProgramImage) -> Result<Vec<Diagnostic>, VerifyError> {
+    lint_image_with(image, &LintConfig::default())
+}
+
+/// Verifies `image`, then runs every lint with explicit entry roots.
+///
+/// The `L004` always-traps lint is suppressed per site when every class
+/// in the *inferred receiver set* reaches a `badOperands:` handler —
+/// with a handler the trap is a routed feature (the trap workloads run
+/// through theirs), not a latent fault. Only if inference is degraded
+/// (an image beyond the class-set domain) does suppression fall back to
+/// PR 7's image-global rule. Likewise `L005` is suppressed when every
+/// never-understanding receiver class has a `doesNotUnderstand:`
+/// handler (intentional proxying).
+///
+/// # Errors
+///
+/// The first [`VerifyError`] — lints only run on verified images.
+pub fn lint_image_with(
+    image: &ProgramImage,
+    config: &LintConfig,
+) -> Result<Vec<Diagnostic>, VerifyError> {
     verify_image(image)?;
+    let inference = crate::infer::infer_image(image)?;
+    let callgraph = crate::callgraph::CallGraph::build(image, &inference);
+    let sharp = (!inference.degraded)
+        .then(|| crate::infer::StaticResolver::new(image, &inference.universe));
     // Selectors any image method defines: sends of these may dispatch to
     // the defined method instead of the primitive, so constant folding
     // must not claim to know their result (conservative, class-insensitive).
@@ -145,7 +206,7 @@ pub fn lint_image(image: &ProgramImage) -> Result<Vec<Diagnostic>, VerifyError> 
             _ => None,
         }
     };
-    let suppress_l004 = image
+    let image_global_suppress = image
         .opcodes
         .get(TrapSelector::BadOperands.name())
         .is_some_and(|sel| image.methods.iter().any(|m| m.selector == sel));
@@ -155,7 +216,126 @@ pub fn lint_image(image: &ProgramImage) -> Result<Vec<Diagnostic>, VerifyError> 
             index: Some(index),
             name: m.code.name.clone(),
         };
-        out.extend(lint_code(&m.code, &prov, &resolve, suppress_l004));
+        // Intra-procedural tier, with L004 deferred to the sharpened
+        // per-site pass below.
+        out.extend(lint_code(&m.code, &prov, &resolve, true));
+
+        let cfg = Cfg::build(&m.code);
+        let reachable = cfg.reachable();
+
+        // L004 — provably always-trapping sends, suppressed only where
+        // the inferred receiver set installs a badOperands: handler.
+        let consts = ConstSlots::build(&m.code, &cfg, &resolve);
+        for (pc, trap) in consts.trap_sites {
+            if !reachable[cfg.block_of[pc]] {
+                continue;
+            }
+            let suppressed = match &sharp {
+                Some(r) => match inference.site(index, pc) {
+                    Some(site) if !site.receivers.is_empty() => inference
+                        .universe
+                        .classes_in(&site.receivers)
+                        .all(|c| r.handler(c, TrapSelector::BadOperands).is_some()),
+                    Some(_) => true, // dead site: never executes
+                    None => image_global_suppress,
+                },
+                None => image_global_suppress,
+            };
+            if !suppressed {
+                out.push(Diagnostic {
+                    code: DiagCode::AlwaysTraps,
+                    method: prov.clone(),
+                    offset: Some(pc),
+                    message: format!("this send traps every time it executes: {trap}"),
+                });
+            }
+        }
+
+        // L005 — sends the receiver set provably never understands.
+        if let Some(r) = &sharp {
+            for site in inference.sites_of(index) {
+                if site.receivers.is_empty() {
+                    continue;
+                }
+                let mut all_dnu = true;
+                let mut all_handled = true;
+                for c in inference.universe.classes_in(&site.receivers) {
+                    match r.resolve(c, site.selector) {
+                        crate::infer::Target::Dnu { handled } => {
+                            if !handled {
+                                all_handled = false;
+                            }
+                        }
+                        _ => {
+                            all_dnu = false;
+                            break;
+                        }
+                    }
+                }
+                if all_dnu && !all_handled {
+                    let name = image.opcodes.name(site.selector).unwrap_or("?");
+                    out.push(Diagnostic {
+                        code: DiagCode::GuaranteedDnu,
+                        method: prov.clone(),
+                        offset: Some(site.pc),
+                        message: format!(
+                            "no inferred receiver class understands `{name}` \
+                             and none installs a doesNotUnderstand: handler"
+                        ),
+                    });
+                }
+            }
+        }
+
+        // I002 — interprocedural fuel (call-graph composition of I001).
+        let fuel = match callgraph.fuel[index] {
+            crate::callgraph::FuelBound::Bounded(n) => {
+                format!("worst-case interprocedural fuel: {n} instructions")
+            }
+            crate::callgraph::FuelBound::Unbounded => {
+                "worst-case interprocedural fuel: unbounded (loops or recursion)".to_string()
+            }
+        };
+        out.push(Diagnostic {
+            code: DiagCode::InterFuel,
+            method: prov,
+            offset: None,
+            message: fuel,
+        });
+    }
+
+    // L006 — methods unreachable from the entry roots. Trap handlers
+    // are engine-invoked and always count as roots.
+    if !config.entries.is_empty() && !callgraph.degraded() {
+        let sels: Vec<Opcode> = config
+            .entries
+            .iter()
+            .filter_map(|e| image.opcodes.get(e))
+            .collect();
+        let roots: Vec<usize> = image
+            .methods
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| sels.contains(&m.selector))
+            .map(|(i, _)| i)
+            .collect();
+        let reached = callgraph.reachable_from(&roots);
+        for (i, m) in image.methods.iter().enumerate() {
+            if !reached[i] {
+                out.push(Diagnostic {
+                    code: DiagCode::UnreachableMethod,
+                    method: Provenance {
+                        index: Some(i),
+                        name: m.code.name.clone(),
+                    },
+                    offset: None,
+                    message: format!(
+                        "no entry point ({}) or trap handler reaches this method",
+                        config.entries.join(", ")
+                    ),
+                });
+            }
+        }
     }
     Ok(out)
 }
@@ -412,9 +592,177 @@ mod tests {
         assert_eq!(DiagCode::DeadStore.code(), "L002");
         assert_eq!(DiagCode::UseBeforeDef.code(), "L003");
         assert_eq!(DiagCode::AlwaysTraps.code(), "L004");
+        assert_eq!(DiagCode::GuaranteedDnu.code(), "L005");
+        assert_eq!(DiagCode::UnreachableMethod.code(), "L006");
         assert_eq!(DiagCode::FuelBound.code(), "I001");
+        assert_eq!(DiagCode::InterFuel.code(), "I002");
+        assert_eq!(DiagCode::GuaranteedDnu.severity(), Severity::Warning);
+        assert_eq!(DiagCode::UnreachableMethod.severity(), Severity::Info);
+        assert_eq!(DiagCode::InterFuel.severity(), Severity::Info);
         for c in DiagCode::ALL {
             assert!(!c.describe().is_empty());
         }
+    }
+
+    #[test]
+    fn l004_suppression_is_per_receiver_not_image_global() {
+        // A constant 1/0 on an Int receiver, in an image whose only
+        // badOperands: handler lives on an unrelated class. PR 7's
+        // image-global rule silenced this; the sharpened rule must not —
+        // the Int chain has no handler.
+        let mut asm = Assembler::new("t", 1);
+        let k1 = asm.intern_const(Word::Int(1));
+        let k0 = asm.intern_const(Word::Int(0));
+        asm.emit_three(
+            Opcode::DIV,
+            Operand::Cur(4),
+            Operand::Const(k1),
+            Operand::Const(k0),
+        )
+        .unwrap();
+        asm.emit_three_ret(
+            Opcode::MOVE,
+            Operand::Cur(0),
+            Operand::Cur(4),
+            Operand::Cur(4),
+        )
+        .unwrap();
+        let mut img = image_with(asm.finish().unwrap());
+        let elsewhere = img
+            .classes
+            .define("Elsewhere", Some(com_obj::ClassTable::OBJECT), 0)
+            .unwrap();
+        let bo = img.opcodes.intern(TrapSelector::BadOperands.name());
+        let mut asm = Assembler::new("Elsewhere ≫ badOperands:", 2);
+        asm.emit_three_ret(
+            Opcode::MOVE,
+            Operand::Cur(0),
+            Operand::Cur(1),
+            Operand::Cur(1),
+        )
+        .unwrap();
+        img.add_method(elsewhere, bo, asm.finish().unwrap());
+        let diags = lint_image(&img).unwrap();
+        assert!(
+            diags.iter().any(|d| d.code == DiagCode::AlwaysTraps),
+            "a handler on an unrelated class must not silence L004: {diags:?}"
+        );
+    }
+
+    #[test]
+    fn guaranteed_dnu_warns_unless_every_receiver_has_a_handler() {
+        // `self ghost` where no class installs `ghost`.
+        let mut img = ProgramImage::empty();
+        let ghost = img.opcodes.intern("ghost");
+        let sel = img.opcodes.intern("haunt");
+        let mut asm = Assembler::new("SmallInteger ≫ haunt", 1);
+        asm.emit_three(
+            Opcode(ghost.0),
+            Operand::Cur(2),
+            Operand::Cur(1),
+            Operand::Cur(1),
+        )
+        .unwrap();
+        asm.emit_three_ret(
+            Opcode::MOVE,
+            Operand::Cur(0),
+            Operand::Cur(2),
+            Operand::Cur(2),
+        )
+        .unwrap();
+        let code = asm.finish().unwrap();
+        img.add_method(ClassId::SMALL_INT, sel, code.clone());
+        let diags = lint_image(&img).unwrap();
+        let dnu: Vec<_> = diags
+            .iter()
+            .filter(|d| d.code == DiagCode::GuaranteedDnu)
+            .collect();
+        assert_eq!(dnu.len(), 1, "{diags:?}");
+        assert_eq!(dnu[0].offset, Some(0));
+        assert!(dnu[0].to_string().contains("ghost"));
+        // With a doesNotUnderstand: handler on the receiver's chain the
+        // send is intentional proxying (the dnu workload's pattern).
+        let dnu_sel = img.opcodes.intern(TrapSelector::DoesNotUnderstand.name());
+        let mut asm = Assembler::new("Object ≫ doesNotUnderstand:", 2);
+        asm.emit_three_ret(
+            Opcode::MOVE,
+            Operand::Cur(0),
+            Operand::Cur(1),
+            Operand::Cur(1),
+        )
+        .unwrap();
+        img.add_method(com_obj::ClassTable::OBJECT, dnu_sel, asm.finish().unwrap());
+        let diags = lint_image(&img).unwrap();
+        assert!(
+            !diags.iter().any(|d| d.code == DiagCode::GuaranteedDnu),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn unreachable_method_needs_entries_and_spares_handlers() {
+        let mut img = ProgramImage::empty();
+        let main = img.opcodes.intern("mainEntry");
+        let orphan = img.opcodes.intern("orphan");
+        let dnu_sel = img.opcodes.intern(TrapSelector::DoesNotUnderstand.name());
+        for (sel, name) in [
+            (main, "SmallInteger ≫ mainEntry"),
+            (orphan, "SmallInteger ≫ orphan"),
+        ] {
+            let mut asm = Assembler::new(name, 1);
+            asm.emit_three_ret(
+                Opcode::MOVE,
+                Operand::Cur(0),
+                Operand::Cur(1),
+                Operand::Cur(1),
+            )
+            .unwrap();
+            img.add_method(ClassId::SMALL_INT, sel, asm.finish().unwrap());
+        }
+        let mut asm = Assembler::new("Object ≫ doesNotUnderstand:", 2);
+        asm.emit_three_ret(
+            Opcode::MOVE,
+            Operand::Cur(0),
+            Operand::Cur(1),
+            Operand::Cur(1),
+        )
+        .unwrap();
+        img.add_method(com_obj::ClassTable::OBJECT, dnu_sel, asm.finish().unwrap());
+
+        // No entries: no unreachability claims.
+        let diags = lint_image(&img).unwrap();
+        assert!(!diags.iter().any(|d| d.code == DiagCode::UnreachableMethod));
+
+        // With an entry, only the orphan is flagged — the handler is an
+        // engine-invoked root, never dead.
+        let config = LintConfig {
+            entries: vec!["mainEntry".to_string()],
+        };
+        let diags = lint_image_with(&img, &config).unwrap();
+        let dead: Vec<_> = diags
+            .iter()
+            .filter(|d| d.code == DiagCode::UnreachableMethod)
+            .collect();
+        assert_eq!(dead.len(), 1, "{diags:?}");
+        assert_eq!(dead[0].method.index, Some(1));
+    }
+
+    #[test]
+    fn interprocedural_fuel_is_reported_per_method() {
+        let mut asm = Assembler::new("t", 1);
+        asm.emit_three_ret(
+            Opcode::MOVE,
+            Operand::Cur(0),
+            Operand::Cur(1),
+            Operand::Cur(1),
+        )
+        .unwrap();
+        let diags = lint_image(&image_with(asm.finish().unwrap())).unwrap();
+        let inter: Vec<_> = diags
+            .iter()
+            .filter(|d| d.code == DiagCode::InterFuel)
+            .collect();
+        assert_eq!(inter.len(), 1, "{diags:?}");
+        assert!(inter[0].message.contains("1 instructions"), "{inter:?}");
     }
 }

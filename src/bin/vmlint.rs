@@ -1,13 +1,17 @@
-//! `vmlint` — static verification and dataflow lint over COM program
-//! images, with stable diagnostic codes and a deny mode for CI.
+//! `vmlint` — static verification, dataflow lint, and whole-image
+//! analysis over COM program images, with stable diagnostic codes, a
+//! deny mode for CI, machine-readable output, and a facts artifact for
+//! downstream consumers (ITLB pre-seeding, a future JIT).
 
 use com_stc::{compile_com, CompileOptions};
-use com_verify::{lint_image, DiagCode, Diagnostic, Severity, VerifyError};
+use com_verify::{
+    lint_image_with, DiagCode, Diagnostic, ImageFacts, LintConfig, Severity, VerifyError,
+};
 use com_workloads as workloads;
 use std::process::ExitCode;
 
 const USAGE: &str = "\
-vmlint — static verifier and dataflow lint for COM program images
+vmlint — static verifier, lint, and whole-image analysis for COM images
 
 USAGE:
     vmlint [OPTIONS] [FILE...]
@@ -17,18 +21,30 @@ linted. With no FILE and no target option, lints the built-in workloads
 and the bare standard library — the CI sweep.
 
 OPTIONS:
-    --workloads   Lint every built-in benchmark workload
-    --stdlib      Lint the standard library compiled on its own
-    --deny        Exit non-zero on warning-severity lints (verify
-                  errors always fail, with or without --deny)
-    --fuel        Also print each method's worst-case fuel estimate (I001)
-    --verbose     Also print info-severity lints (L001/L002)
-    --help        Print this help
+    --workloads          Lint every built-in benchmark workload (each
+                         workload's entry selector seeds the L006 roots)
+    --stdlib             Lint the standard library compiled on its own
+    --entry NAME         Add an entry-point selector to the L006
+                         call-graph roots (repeatable; applies to FILE
+                         and stdlib targets)
+    --deny               Exit 1 on warning-severity lints (verify
+                         errors always exit 2, with or without --deny)
+    --json               Emit findings as a JSON array (one object per
+                         finding: image, code, severity, method,
+                         method_index, offset, message) instead of text
+    --emit-facts FILE    Write the whole-image analysis facts artifact
+                         (per-site resolution, receiver sets, call
+                         graph, fuel bounds) as JSON to FILE
+    --fuel               Also print each method's fuel estimates
+                         (I001 own-frame, I002 interprocedural)
+    --verbose            Also print info-severity lints (L001/L002/L006)
+    --help               Print this help
 
 EXIT STATUS:
     0  every image verified; no denied diagnostics
-    1  a verify error, or (with --deny) a warning-severity lint
-    2  usage or I/O error
+    1  a warning-severity lint under --deny
+    2  a verify error (the image would be refused at load time)
+    3  usage or I/O error
 
 DIAGNOSTICS:
   Verify errors (always fatal — the image is refused at load time):
@@ -40,20 +56,33 @@ DIAGNOSTICS:
     V006  method declares more args than the context geometry holds
     V007  instruction word does not decode
 
-  Lints (from the dataflow analyses; severity in brackets):
+  Lints (dataflow + whole-image class inference; severity in brackets):
     L001  [info]     unreachable code: no path from the method entry
     L002  [info]     dead store: overwritten on every path before any read
     L003  [warning]  use of a context slot that may be uninitialised
     L004  [warning]  send with constant operands that provably traps
+                     (suppressed only when the inferred receiver set
+                     installs a badOperands: handler)
+    L005  [warning]  send guaranteed to hit doesNotUnderstand: — no
+                     inferred receiver class understands the selector
+                     (suppressed when every receiver installs a handler)
+    L006  [info]     method unreachable from any entry point or
+                     engine-invoked trap handler (needs --entry or a
+                     workload target)
     I001  [info]     worst-case own-frame fuel estimate
+    I002  [info]     worst-case interprocedural fuel (call-graph
+                     composition of the I001 bounds)
 ";
 
 struct Options {
     workloads: bool,
     stdlib: bool,
     deny: bool,
+    json: bool,
     fuel: bool,
     verbose: bool,
+    entries: Vec<String>,
+    emit_facts: Option<String>,
     files: Vec<String>,
 }
 
@@ -62,18 +91,31 @@ fn parse_args() -> Result<Option<Options>, String> {
         workloads: false,
         stdlib: false,
         deny: false,
+        json: false,
         fuel: false,
         verbose: false,
+        entries: Vec::new(),
+        emit_facts: None,
         files: Vec::new(),
     };
-    for arg in std::env::args().skip(1) {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--help" | "-h" => return Ok(None),
             "--workloads" => opts.workloads = true,
             "--stdlib" => opts.stdlib = true,
             "--deny" => opts.deny = true,
+            "--json" => opts.json = true,
             "--fuel" => opts.fuel = true,
             "--verbose" | "-v" => opts.verbose = true,
+            "--entry" => match args.next() {
+                Some(name) => opts.entries.push(name),
+                None => return Err("--entry needs a selector name".to_string()),
+            },
+            "--emit-facts" => match args.next() {
+                Some(path) => opts.emit_facts = Some(path),
+                None => return Err("--emit-facts needs a file path".to_string()),
+            },
             other if other.starts_with('-') => {
                 return Err(format!("unknown option: {other}"));
             }
@@ -87,28 +129,98 @@ fn parse_args() -> Result<Option<Options>, String> {
     Ok(Some(opts))
 }
 
-/// One target's outcome: the lint findings, or the verify rejection.
+/// One target's outcome: the lint findings and analysis facts, or the
+/// verify rejection.
 struct Report {
     name: String,
     methods: usize,
-    outcome: Result<Vec<Diagnostic>, VerifyError>,
+    outcome: Result<(Vec<Diagnostic>, ImageFacts), VerifyError>,
 }
 
-fn lint_source(name: &str, source: &str, options: CompileOptions) -> Result<Report, String> {
+fn lint_source(
+    name: &str,
+    source: &str,
+    entries: &[String],
+    options: CompileOptions,
+) -> Result<Report, String> {
     let image = compile_com(source, options).map_err(|e| format!("{name}: compile error: {e}"))?;
+    let config = LintConfig {
+        entries: entries.to_vec(),
+    };
+    let outcome = lint_image_with(&image, &config).and_then(|diags| {
+        let facts = ImageFacts::analyze_with(&image, entries)?;
+        Ok((diags, facts))
+    });
     Ok(Report {
         name: name.to_string(),
         methods: image.methods.len(),
-        outcome: lint_image(&image),
+        outcome,
     })
 }
 
 fn shown(d: &Diagnostic, opts: &Options) -> bool {
     match d.severity() {
         Severity::Warning => true,
-        Severity::Info if d.code == DiagCode::FuelBound => opts.fuel,
+        Severity::Info if matches!(d.code, DiagCode::FuelBound | DiagCode::InterFuel) => opts.fuel,
         Severity::Info => opts.verbose,
     }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn finding_json(image: &str, d: &Diagnostic) -> String {
+    let severity = match d.severity() {
+        Severity::Warning => "warning",
+        Severity::Info => "info",
+    };
+    format!(
+        "{{\"image\": {}, \"code\": \"{}\", \"severity\": \"{}\", \"method\": {}, \"method_index\": {}, \"offset\": {}, \"message\": {}}}",
+        json_str(image),
+        d.code.code(),
+        severity,
+        json_str(&d.method.name),
+        d.method
+            .index
+            .map(|i| i.to_string())
+            .unwrap_or_else(|| "null".to_string()),
+        d.offset
+            .map(|o| o.to_string())
+            .unwrap_or_else(|| "null".to_string()),
+        json_str(&d.message),
+    )
+}
+
+fn verify_error_json(image: &str, e: &VerifyError) -> String {
+    format!(
+        "{{\"image\": {}, \"code\": \"{}\", \"severity\": \"error\", \"method\": {}, \"method_index\": {}, \"offset\": {}, \"message\": {}}}",
+        json_str(image),
+        e.kind.code(),
+        json_str(&e.method.name),
+        e.method
+            .index
+            .map(|i| i.to_string())
+            .unwrap_or_else(|| "null".to_string()),
+        e.offset
+            .map(|o| o.to_string())
+            .unwrap_or_else(|| "null".to_string()),
+        json_str(&e.kind.to_string()),
+    )
 }
 
 fn main() -> ExitCode {
@@ -121,31 +233,36 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("vmlint: {e}");
             eprint!("{USAGE}");
-            return ExitCode::from(2);
+            return ExitCode::from(3);
         }
     };
 
     let mut reports: Vec<Report> = Vec::new();
     if opts.stdlib {
-        match lint_source("stdlib", "", CompileOptions::default()) {
+        match lint_source("stdlib", "", &opts.entries, CompileOptions::default()) {
             Ok(r) => reports.push(r),
             Err(e) => {
                 eprintln!("vmlint: {e}");
-                return ExitCode::from(2);
+                return ExitCode::from(3);
             }
         }
     }
     if opts.workloads {
         for w in workloads::all() {
+            // The workload's own entry selector (plus any --entry) roots
+            // its call graph.
+            let mut entries = opts.entries.clone();
+            entries.push(w.entry.to_string());
             match lint_source(
                 &format!("workload {}", w.name),
                 w.source,
+                &entries,
                 CompileOptions::default(),
             ) {
                 Ok(r) => reports.push(r),
                 Err(e) => {
                     eprintln!("vmlint: {e}");
-                    return ExitCode::from(2);
+                    return ExitCode::from(3);
                 }
             }
         }
@@ -155,35 +272,74 @@ fn main() -> ExitCode {
             Ok(s) => s,
             Err(e) => {
                 eprintln!("vmlint: {file}: {e}");
-                return ExitCode::from(2);
+                return ExitCode::from(3);
             }
         };
-        match lint_source(file, &source, CompileOptions::default()) {
+        match lint_source(file, &source, &opts.entries, CompileOptions::default()) {
             Ok(r) => reports.push(r),
             Err(e) => {
                 eprintln!("vmlint: {e}");
-                return ExitCode::from(2);
+                return ExitCode::from(3);
             }
+        }
+    }
+
+    // The facts artifact: one object per image, wrapped with a version.
+    if let Some(path) = &opts.emit_facts {
+        let mut out = String::from("{\n\"version\": 1,\n\"images\": [\n");
+        let mut first = true;
+        for report in &reports {
+            if let Ok((_, facts)) = &report.outcome {
+                if !first {
+                    out.push_str(",\n");
+                }
+                first = false;
+                out.push_str(&format!(
+                    "{{\"name\": {}, \"facts\": {}}}",
+                    json_str(&report.name),
+                    facts.to_json()
+                ));
+            }
+        }
+        out.push_str("]\n}\n");
+        if let Err(e) = std::fs::write(path, out) {
+            eprintln!("vmlint: {path}: {e}");
+            return ExitCode::from(3);
         }
     }
 
     let mut verify_errors = 0usize;
     let mut warnings = 0usize;
     let mut infos = 0usize;
+    let mut total_sites = 0usize;
+    let mut total_live = 0usize;
+    let mut total_mono = 0usize;
+    let mut json_findings: Vec<String> = Vec::new();
     for report in &reports {
         match &report.outcome {
             Err(e) => {
                 verify_errors += 1;
-                println!("{}: error{e}", report.name);
+                if opts.json {
+                    json_findings.push(verify_error_json(&report.name, e));
+                } else {
+                    println!("{}: error{e}", report.name);
+                }
             }
-            Ok(diags) => {
+            Ok((diags, facts)) => {
+                total_sites += facts.summary.sites;
+                total_live += facts.summary.live_sites;
+                total_mono += facts.summary.monomorphic;
                 let mut header = false;
                 for d in diags {
                     match d.severity() {
                         Severity::Warning => warnings += 1,
                         Severity::Info => infos += 1,
                     }
-                    if shown(d, &opts) {
+                    if opts.json {
+                        if shown(d, &opts) || d.severity() == Severity::Warning {
+                            json_findings.push(finding_json(&report.name, d));
+                        }
+                    } else if shown(d, &opts) {
                         if !header {
                             println!("{} ({} methods):", report.name, report.methods);
                             header = true;
@@ -195,16 +351,36 @@ fn main() -> ExitCode {
         }
     }
 
-    let images = reports.len();
-    println!(
-        "vmlint: {images} image{} checked, {verify_errors} verify error{}, \
-         {warnings} warning{}, {infos} info finding{}",
-        if images == 1 { "" } else { "s" },
-        if verify_errors == 1 { "" } else { "s" },
-        if warnings == 1 { "" } else { "s" },
-        if infos == 1 { "" } else { "s" },
-    );
-    if verify_errors > 0 || (opts.deny && warnings > 0) {
+    if opts.json {
+        println!("[");
+        for (i, f) in json_findings.iter().enumerate() {
+            println!(
+                "  {f}{}",
+                if i + 1 < json_findings.len() { "," } else { "" }
+            );
+        }
+        println!("]");
+    } else {
+        let images = reports.len();
+        let pct = if total_live > 0 {
+            100.0 * total_mono as f64 / total_live as f64
+        } else {
+            0.0
+        };
+        println!(
+            "vmlint: {images} image{} checked, {verify_errors} verify error{}, \
+             {warnings} warning{}, {infos} info finding{}; \
+             {total_mono}/{total_live} live send sites monomorphic ({pct:.1}%, \
+             {total_sites} total)",
+            if images == 1 { "" } else { "s" },
+            if verify_errors == 1 { "" } else { "s" },
+            if warnings == 1 { "" } else { "s" },
+            if infos == 1 { "" } else { "s" },
+        );
+    }
+    if verify_errors > 0 {
+        ExitCode::from(2)
+    } else if opts.deny && warnings > 0 {
         ExitCode::from(1)
     } else {
         ExitCode::SUCCESS

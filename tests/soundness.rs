@@ -1,0 +1,163 @@
+//! Soundness differential suite for the whole-image class inference.
+//!
+//! Every workload (each compiled with the full standard library, so the
+//! stdlib's own send sites are exercised too) runs on the real machine
+//! with a dispatch observer installed. For every dynamically observed
+//! dispatch we check the static analysis's contract:
+//!
+//! * the observed receiver class is a member of the site's statically
+//!   inferred receiver set, and
+//! * when the site was analyzed as a binary dispatch, the observed
+//!   argument class is a member of the inferred argument set.
+//!
+//! Any counterexample is an inference soundness bug — the static set
+//! claimed to over-approximate the dynamic behavior and did not.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::{Arc, Mutex};
+
+use com_machine::core::{Machine, MachineConfig};
+use com_machine::mem::{ClassId, Word};
+use com_machine::stc::{compile_com, CompileOptions};
+use com_machine::verify::ImageFacts;
+use com_machine::workloads;
+
+/// One deduplicated observation: (method index, pc) → set of
+/// (receiver class, argument class) pairs seen at that site.
+type Observed = HashMap<(usize, u64), HashSet<(ClassId, ClassId)>>;
+
+/// The observer's raw sink, keyed by code base capability before the
+/// capabilities are mapped back to image method indices.
+type RawObserved = Arc<Mutex<HashMap<(u64, u64), HashSet<(ClassId, ClassId)>>>>;
+
+/// Runs one workload with the dispatch observer and returns the
+/// observations mapped back to image method indices (dispatches from
+/// the synthesized entry send are not part of the analyzed image and
+/// are skipped).
+fn observe(w: &workloads::Workload) -> (com_machine::core::ProgramImage, Observed) {
+    let image = compile_com(w.source, CompileOptions::default())
+        .unwrap_or_else(|e| panic!("workload {} failed to compile: {e}", w.name));
+    let mut m = Machine::new(MachineConfig::default());
+    m.load(&image).unwrap();
+    let raw: RawObserved = Arc::new(Mutex::new(HashMap::new()));
+    let sink = Arc::clone(&raw);
+    m.set_dispatch_observer(move |e| {
+        sink.lock()
+            .unwrap()
+            .entry((e.method.base().raw(), e.pc))
+            .or_default()
+            .insert((e.key.classes[0], e.key.classes[1]));
+    });
+    let out = m
+        .send(w.entry, Word::Int(w.size), &[], workloads::MAX_STEPS)
+        .unwrap_or_else(|e| panic!("workload {} trapped: {e}", w.name));
+    assert_eq!(
+        out.result,
+        Word::Int(w.expected),
+        "workload {} result diverged under observation",
+        w.name
+    );
+    // Map code base capabilities back to image method indices. The
+    // loader pushes one code root per image method, in image order;
+    // later roots belong to synthesized entry methods.
+    let mut index: HashMap<u64, usize> = HashMap::new();
+    for (i, root) in m.code_roots().iter().enumerate() {
+        if i < image.methods.len() {
+            index.insert(root.base().raw(), i);
+        }
+    }
+    let mut observed: Observed = HashMap::new();
+    for ((base, pc), keys) in raw.lock().unwrap().drain() {
+        if let Some(&mindex) = index.get(&base) {
+            observed.entry((mindex, pc)).or_default().extend(keys);
+        }
+    }
+    (image, observed)
+}
+
+#[test]
+fn every_observed_receiver_is_in_the_inferred_set() {
+    let mut total_live = 0usize;
+    let mut total_mono = 0usize;
+    for w in workloads::all() {
+        let (image, observed) = observe(&w);
+        let facts = ImageFacts::analyze_with(&image, &[w.entry.to_string()])
+            .unwrap_or_else(|e| panic!("workload {} failed analysis: {e}", w.name));
+        assert!(
+            !facts.inference.degraded,
+            "workload {} must fit the analysis class budget",
+            w.name
+        );
+        total_live += facts.summary.live_sites;
+        total_mono += facts.summary.monomorphic;
+        let universe = &facts.inference.universe;
+        for ((mindex, pc), keys) in &observed {
+            let site = facts
+                .inference
+                .site(*mindex, *pc as usize)
+                .unwrap_or_else(|| {
+                    panic!(
+                        "{}: no site for executed {}@{pc}",
+                        w.name, facts.methods[*mindex].name
+                    )
+                });
+            for (recv, arg) in keys {
+                assert!(
+                    universe.contains(&site.receivers, *recv),
+                    "{}: {}@{pc} dispatched on {:?} ({}), not in inferred receiver set {:?}",
+                    w.name,
+                    facts.methods[*mindex].name,
+                    recv,
+                    facts
+                        .class_names
+                        .get(recv)
+                        .map(String::as_str)
+                        .unwrap_or("?"),
+                    site.receivers
+                );
+                if let Some(args) = &site.arg {
+                    assert!(
+                        universe.contains(args, *arg),
+                        "{}: {}@{pc} argument class {:?} ({}) not in inferred set {:?}",
+                        w.name,
+                        facts.methods[*mindex].name,
+                        arg,
+                        facts
+                            .class_names
+                            .get(arg)
+                            .map(String::as_str)
+                            .unwrap_or("?"),
+                        args
+                    );
+                }
+            }
+        }
+    }
+    // The devirtualization payoff the analysis exists for: across the
+    // full workload suite (stdlib included in every image), at least
+    // 80% of live send sites must resolve monomorphically.
+    let pct = 100.0 * total_mono as f64 / total_live as f64;
+    assert!(
+        pct >= 80.0,
+        "monomorphic resolution dropped to {pct:.1}% ({total_mono}/{total_live})"
+    );
+}
+
+#[test]
+fn observed_sites_are_never_classified_dead() {
+    use com_machine::verify::SiteKind;
+    for w in workloads::all() {
+        let (image, observed) = observe(&w);
+        let facts = ImageFacts::analyze(&image).unwrap();
+        for (mindex, pc) in observed.keys() {
+            let site = facts.inference.site(*mindex, *pc as usize).unwrap();
+            assert_ne!(
+                site.kind,
+                SiteKind::Dead,
+                "{}: {}@{pc} executed but was classified dead",
+                w.name,
+                facts.methods[*mindex].name
+            );
+        }
+    }
+}
